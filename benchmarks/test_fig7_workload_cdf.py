@@ -1,0 +1,28 @@
+"""Fig. 7 — CDF of per-device workload with and without tree trimming.
+
+Paper series: on Facebook the maximal workload drops from >150 to 39, on
+LastFM from >100 to 16; the CDF of trimmed workloads has no heavy tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import figure7
+
+
+@pytest.mark.benchmark(group="fig7-workload")
+def test_fig7_workload_cdf(benchmark, scale):
+    """Regenerate the workload CDF statistics on both datasets."""
+    result = benchmark.pedantic(lambda: figure7(scale=scale, verbose=True), rounds=1, iterations=1)
+    for dataset, stats in result.items():
+        trimmed = np.asarray(stats["workloads_with_trimming"])
+        untrimmed = np.asarray(stats["workloads_without_trimming"])
+        # The heavy tail disappears: the max workload shrinks by at least 2x
+        # and the p99 workload by a large margin.
+        assert stats["max_with_trimming"] * 2 <= stats["max_without_trimming"], dataset
+        assert np.percentile(trimmed, 99) < np.percentile(untrimmed, 99), dataset
+        # Every edge is still represented at least once: the total number of
+        # selections cannot drop below the number of edges.
+        assert trimmed.sum() >= untrimmed.sum() / 2, dataset

@@ -1,0 +1,26 @@
+"""Fig. 8 — system cost of tree trimming.
+
+Paper series: trimming saves 34.2% / 43.0% of inter-device communication
+rounds per epoch (supervised, Facebook / LastFM) and 27.3% / 36.8%
+(unsupervised); it saves 13.3% / 36.4% of the per-epoch training time
+(supervised) and 10.3% / 10.9% (unsupervised).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figures import figure8
+
+
+@pytest.mark.benchmark(group="fig8-system-cost")
+def test_fig8_system_cost(benchmark, scale):
+    """Regenerate the communication-round and epoch-time comparison."""
+    result = benchmark.pedantic(lambda: figure8(scale=scale, verbose=True), rounds=1, iterations=1)
+    for key, values in result.items():
+        # Trimming always reduces communication and the straggler-bound time.
+        assert values["rounds_with_trimming"] < values["rounds_without_trimming"], key
+        assert values["epoch_time_with_trimming"] < values["epoch_time_without_trimming"], key
+        # Savings land in a sane band around the paper's 10-45%.
+        assert 5.0 <= values["rounds_saving_percent"] <= 70.0, key
+        assert 2.0 <= values["time_saving_percent"] <= 70.0, key

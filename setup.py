@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments whose pip/setuptools are too old for
+PEP 660 editable installs (``pip install -e . --no-use-pep517`` falls back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""Comparison methods of the paper's evaluation (Section VIII-C)."""
+
+from .centralized import (
+    CentralizedResult,
+    train_centralized_supervised,
+    train_centralized_unsupervised,
+)
+from .lpgnn import LPGNNConfig, train_lpgnn_supervised
+from .naive_fedgnn import (
+    NaiveFedGNNConfig,
+    perturb_graph,
+    train_naive_fedgnn_supervised,
+    train_naive_fedgnn_unsupervised,
+)
+
+__all__ = [
+    "CentralizedResult",
+    "train_centralized_supervised",
+    "train_centralized_unsupervised",
+    "LPGNNConfig",
+    "train_lpgnn_supervised",
+    "NaiveFedGNNConfig",
+    "perturb_graph",
+    "train_naive_fedgnn_supervised",
+    "train_naive_fedgnn_unsupervised",
+]

@@ -1,0 +1,189 @@
+"""Centralized GNN baseline (upper bound).
+
+The server holds the entire graph — edges, features and labels — and trains a
+standard 2-layer GCN or GAT.  This is the non-private reference Lumos is
+compared against in Fig. 3 and Fig. 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gnn.models import EncoderConfig, GraphInput, LinkPredictor, NodeClassifier
+from ..graph.graph import Graph
+from ..graph.splits import EdgeSplit, NodeSplit
+from ..nn.loss import cross_entropy, link_prediction_loss
+from ..nn import functional as F
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from ..eval.metrics import roc_auc_score
+
+
+@dataclass
+class CentralizedResult:
+    """Outcome of a centralized training run."""
+
+    test_accuracy: float = 0.0
+    test_auc: float = 0.0
+    best_val_metric: float = 0.0
+    losses: List[float] = field(default_factory=list)
+    wall_clock_seconds: float = 0.0
+
+
+def _encoder_config(backbone: str, hidden_dim: int, output_dim: int, dropout: float, num_heads: int) -> EncoderConfig:
+    return EncoderConfig(
+        backbone=backbone,
+        num_layers=2,
+        hidden_dim=hidden_dim,
+        output_dim=output_dim,
+        dropout=dropout,
+        num_heads=num_heads,
+    )
+
+
+def train_centralized_supervised(
+    graph: Graph,
+    split: NodeSplit,
+    backbone: str = "gcn",
+    epochs: int = 300,
+    learning_rate: float = 0.01,
+    hidden_dim: int = 16,
+    output_dim: int = 16,
+    dropout: float = 0.01,
+    num_heads: int = 4,
+    seed: int = 0,
+) -> CentralizedResult:
+    """Train a centralized node classifier and report test accuracy."""
+    if graph.labels is None:
+        raise ValueError("supervised training requires labels")
+    rng = np.random.default_rng(seed)
+    graph = graph.normalized_features(0.0, 1.0)
+    graph_input = GraphInput.from_graph(graph)
+    model = NodeClassifier(
+        graph.num_features,
+        graph.num_classes,
+        _encoder_config(backbone, hidden_dim, output_dim, dropout, num_heads),
+        rng=rng,
+    )
+    optimizer = Adam(model.parameters(), lr=learning_rate)
+    features = Tensor(graph.features)
+    labels = graph.labels
+    result = CentralizedResult()
+    best_state = None
+    start = time.perf_counter()
+
+    for _ in range(epochs):
+        model.train()
+        logits = model(features, graph_input)
+        loss = cross_entropy(logits, labels, mask=split.train_mask)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        result.losses.append(loss.item())
+
+        with no_grad():
+            model.eval()
+            predictions = np.argmax(model(features, graph_input).data, axis=1)
+        val_accuracy = float((predictions[split.val_mask] == labels[split.val_mask]).mean())
+        if val_accuracy >= result.best_val_metric:
+            result.best_val_metric = val_accuracy
+            best_state = model.state_dict()
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    with no_grad():
+        model.eval()
+        predictions = np.argmax(model(features, graph_input).data, axis=1)
+    result.test_accuracy = float((predictions[split.test_mask] == labels[split.test_mask]).mean())
+    result.wall_clock_seconds = time.perf_counter() - start
+    return result
+
+
+def train_centralized_unsupervised(
+    graph: Graph,
+    edge_split: EdgeSplit,
+    backbone: str = "gcn",
+    epochs: int = 300,
+    learning_rate: float = 0.01,
+    hidden_dim: int = 16,
+    output_dim: int = 16,
+    dropout: float = 0.01,
+    num_heads: int = 4,
+    seed: int = 0,
+) -> CentralizedResult:
+    """Train a centralized link predictor and report test ROC-AUC."""
+    rng = np.random.default_rng(seed)
+    graph = graph.normalized_features(0.0, 1.0)
+    training_graph = edge_split.training_graph(graph)
+    graph_input = GraphInput.from_graph(training_graph)
+    model = LinkPredictor(
+        graph.num_features,
+        _encoder_config(backbone, hidden_dim, output_dim, dropout, num_heads),
+        rng=rng,
+    )
+    optimizer = Adam(model.parameters(), lr=learning_rate)
+    features = Tensor(graph.features)
+    train_pairs = np.asarray(edge_split.train_edges, dtype=np.int64)
+    existing = {tuple(sorted((int(u), int(v)))) for u, v in train_pairs}
+    result = CentralizedResult()
+    best_state = None
+    start = time.perf_counter()
+
+    for _ in range(epochs):
+        model.train()
+        embeddings = model(features, graph_input)
+        negatives = _sample_negatives(train_pairs, existing, graph.num_nodes, rng)
+        loss = link_prediction_loss(
+            F.gather(embeddings, train_pairs[:, 0]),
+            F.gather(embeddings, train_pairs[:, 1]),
+            F.gather(embeddings, negatives[:, 1]),
+        )
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        result.losses.append(loss.item())
+
+        with no_grad():
+            model.eval()
+            eval_embeddings = model(features, graph_input).data
+        val_auc = _pair_auc(eval_embeddings, edge_split.val_edges, edge_split.val_negatives)
+        if val_auc >= result.best_val_metric:
+            result.best_val_metric = val_auc
+            best_state = model.state_dict()
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    with no_grad():
+        model.eval()
+        final_embeddings = model(features, graph_input).data
+    result.test_auc = _pair_auc(final_embeddings, edge_split.test_edges, edge_split.test_negatives)
+    result.wall_clock_seconds = time.perf_counter() - start
+    return result
+
+
+def _sample_negatives(
+    positive_pairs: np.ndarray, existing: set, num_nodes: int, rng: np.random.Generator
+) -> np.ndarray:
+    negatives = np.empty_like(positive_pairs)
+    for index, (u, _) in enumerate(positive_pairs):
+        candidate = int(rng.integers(num_nodes))
+        for _ in range(20):
+            if candidate != int(u) and tuple(sorted((int(u), candidate))) not in existing:
+                break
+            candidate = int(rng.integers(num_nodes))
+        negatives[index] = (int(u), candidate)
+    return negatives
+
+
+def _pair_auc(embeddings: np.ndarray, positives: np.ndarray, negatives: np.ndarray) -> float:
+    positives = np.asarray(positives, dtype=np.int64)
+    negatives = np.asarray(negatives, dtype=np.int64)
+    positive_scores = np.sum(embeddings[positives[:, 0]] * embeddings[positives[:, 1]], axis=1)
+    negative_scores = np.sum(embeddings[negatives[:, 0]] * embeddings[negatives[:, 1]], axis=1)
+    scores = np.concatenate([positive_scores, negative_scores])
+    targets = np.concatenate([np.ones(len(positive_scores)), np.zeros(len(negative_scores))])
+    return roc_auc_score(targets, scores)

@@ -1,0 +1,125 @@
+"""LDP embedding initialisation (paper Section VI-A).
+
+Before training starts every device must make its feature available to the
+neighbouring devices whose trees contain it as a leaf — but raw features are
+private.  The initialisation therefore:
+
+1. encodes the feature with the 1-bit mechanism, using the per-element budget
+   ``eps * wl(u) / d`` (Eq. 26);
+2. randomly distributes the ``d`` elements into ``wl(u)`` bins and sends the
+   ``k``-th bin (other elements replaced by the neutral symbol 0.5) to the
+   ``k``-th requesting neighbour — under composability the total release
+   still satisfies ``eps``-LDP (Theorem 4);
+3. each receiver applies the unbiased recovery of Eq. 27 and stores the
+   result as the initial embedding of the corresponding neighbour leaf.
+
+The releasing device's *own* centre leaves keep the raw (non-noised) feature:
+that data never leaves the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..crypto.ldp import FeatureBinPartitioner, FeatureBounds, OneBitMechanism
+from ..federation.events import MessageKind
+from ..federation.simulator import FederatedEnvironment
+from .workload import Assignment
+
+
+@dataclass
+class EmbeddingInitializationResult:
+    """Outcome of the feature-exchange phase."""
+
+    received_features: Dict[int, Dict[int, np.ndarray]]
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    epsilon: float = 0.0
+
+    def feature_for(self, receiver: int, sender: int) -> np.ndarray:
+        """Recovered feature of ``sender`` as seen by ``receiver``."""
+        return self.received_features[receiver][sender]
+
+
+class LDPEmbeddingInitializer:
+    """Runs the feature exchange of Section VI-A over an environment."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        bounds: FeatureBounds = FeatureBounds(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+        self.bounds = bounds
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.mechanism = OneBitMechanism(epsilon=self.epsilon, bounds=bounds)
+
+    def run(
+        self,
+        environment: FederatedEnvironment,
+        assignment: Assignment,
+    ) -> EmbeddingInitializationResult:
+        """Execute the exchange and return every receiver's recovered features.
+
+        ``assignment`` determines both the sender's workload ``wl(u)`` (its
+        per-element budget and bin count) and who needs whose feature: device
+        ``r`` needs the feature of ``s`` exactly when ``s`` is a selected
+        neighbour of ``r`` (``s`` appears as a leaf in ``T(r)``).
+        """
+        received: Dict[int, Dict[int, np.ndarray]] = {
+            device_id: {} for device_id in environment.devices
+        }
+        messages = 0
+        total_bytes = 0
+
+        # Who requests my feature?  r requests s when s in N_r.
+        requesters: Dict[int, List[int]] = {device_id: [] for device_id in environment.devices}
+        for receiver, selected in assignment.selected.items():
+            for sender in selected:
+                requesters[int(sender)].append(int(receiver))
+
+        for sender_id, receiver_ids in requesters.items():
+            sender_device = environment.devices[sender_id]
+            feature = sender_device.ego.feature
+            dimension = feature.shape[0]
+            # The sender's workload controls the privacy split; devices whose
+            # selection ended up empty (possible after trimming) fall back to
+            # a single bin so their feature can still be released once.
+            workload = max(assignment.workload(sender_id), 1)
+            partitioner = FeatureBinPartitioner(dimension, workload, rng=self.rng)
+
+            for rank, receiver_id in enumerate(sorted(receiver_ids)):
+                bin_mask = partitioner.mask_for_bin(rank % workload)
+                encoded = self.mechanism.encode(
+                    feature, workload=workload, dimension=dimension,
+                    selected=bin_mask, rng=self.rng,
+                )
+                recovered = self.mechanism.recover(encoded, workload=workload, dimension=dimension)
+                received[receiver_id][sender_id] = recovered
+                environment.devices[receiver_id].store_received_feature(sender_id, recovered)
+
+                # Encoded symbols need 2 bits each ({0, 0.5, 1}); account the
+                # transmission of the full d-dimensional message.
+                size_bytes = max(1, (2 * dimension) // 8)
+                environment.exchange(
+                    sender_id, receiver_id, MessageKind.FEATURE_EXCHANGE, size_bytes,
+                    description="ldp-feature",
+                )
+                messages += 1
+                total_bytes += size_bytes
+            environment.charge_compute(
+                sender_id, cost=0.1 * len(receiver_ids), description="ldp-encoding"
+            )
+
+        return EmbeddingInitializationResult(
+            received_features=received,
+            messages_sent=messages,
+            bytes_sent=total_bytes,
+            epsilon=self.epsilon,
+        )

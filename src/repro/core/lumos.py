@@ -1,0 +1,188 @@
+"""High-level Lumos system API.
+
+:class:`LumosSystem` wires the full pipeline together for a given global
+graph: node-level partition, federated environment, heterogeneity-aware tree
+construction, LDP embedding initialisation and tree-based GNN training.  This
+is the class the examples, benchmarks and evaluation harness use.
+
+Typical usage::
+
+    graph = load_dataset("facebook")
+    config = default_config_for("facebook").with_backbone("gcn")
+    system = LumosSystem(graph, config)
+    result = system.run_supervised(split_nodes(graph, seed=0), epochs=100)
+    print(result.test_accuracy)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..crypto.ldp import FeatureBounds
+from ..federation.simulator import FederatedEnvironment
+from ..graph.graph import Graph
+from ..graph.splits import EdgeSplit, NodeSplit
+from .config import LumosConfig
+from .constructor import TreeConstructionResult, TreeConstructor
+from .embedding_init import EmbeddingInitializationResult, LDPEmbeddingInitializer
+from .trainer import (
+    EpochCostModel,
+    LumosModel,
+    SupervisedHistory,
+    TreeBasedGNNTrainer,
+    UnsupervisedHistory,
+)
+
+
+@dataclass
+class LumosSupervisedResult:
+    """Outcome of a supervised (node classification) Lumos run."""
+
+    test_accuracy: float
+    best_val_accuracy: float
+    history: SupervisedHistory
+    construction: TreeConstructionResult
+    communication_rounds_per_device: float
+    simulated_epoch_time: float
+    ledger_summary: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class LumosUnsupervisedResult:
+    """Outcome of an unsupervised (link prediction) Lumos run."""
+
+    test_auc: float
+    best_val_auc: float
+    history: UnsupervisedHistory
+    construction: TreeConstructionResult
+    communication_rounds_per_device: float
+    simulated_epoch_time: float
+    ledger_summary: Dict[str, float] = field(default_factory=dict)
+
+
+class LumosSystem:
+    """End-to-end Lumos deployment over one global graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: LumosConfig = LumosConfig(),
+        cost_model: EpochCostModel = EpochCostModel(),
+    ) -> None:
+        self.graph = graph.normalized_features(0.0, 1.0)
+        self.config = config
+        self.cost_model = cost_model
+        self.rng = np.random.default_rng(config.seed)
+
+        self.environment = FederatedEnvironment.from_graph(self.graph, seed=config.seed)
+        self._construction: Optional[TreeConstructionResult] = None
+        self._initialization: Optional[EmbeddingInitializationResult] = None
+        self._trainer: Optional[TreeBasedGNNTrainer] = None
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages (lazily executed and cached)
+    # ------------------------------------------------------------------ #
+    def construct_trees(self) -> TreeConstructionResult:
+        """Run the heterogeneity-aware tree constructor (cached)."""
+        if self._construction is None:
+            constructor = TreeConstructor(self.config.constructor, rng=self.rng)
+            self._construction = constructor.construct(self.environment)
+        return self._construction
+
+    def initialize_embeddings(self) -> EmbeddingInitializationResult:
+        """Run the LDP feature exchange (cached)."""
+        if self._initialization is None:
+            construction = self.construct_trees()
+            initializer = LDPEmbeddingInitializer(
+                epsilon=self.config.trainer.epsilon,
+                bounds=FeatureBounds(0.0, 1.0),
+                rng=self.rng,
+            )
+            self._initialization = initializer.run(self.environment, construction.assignment)
+        return self._initialization
+
+    def trainer(self) -> TreeBasedGNNTrainer:
+        """Build (and cache) the tree-based GNN trainer."""
+        if self._trainer is None:
+            construction = self.construct_trees()
+            initialization = self.initialize_embeddings()
+            self._trainer = TreeBasedGNNTrainer(
+                self.environment,
+                construction,
+                initialization,
+                self.config.trainer,
+                rng=self.rng,
+                cost_model=self.cost_model,
+            )
+        return self._trainer
+
+    # ------------------------------------------------------------------ #
+    # End-to-end runs
+    # ------------------------------------------------------------------ #
+    def run_supervised(
+        self,
+        split: NodeSplit,
+        epochs: Optional[int] = None,
+        log_every: int = 0,
+    ) -> LumosSupervisedResult:
+        """Train and evaluate the supervised node-classification task."""
+        if self.graph.labels is None:
+            raise ValueError("supervised training requires a labeled graph")
+        trainer = self.trainer()
+        _, history = trainer.train_supervised(
+            self.graph.labels, split, epochs=epochs, log_every=log_every
+        )
+        profile = trainer.communication_profile("supervised")
+        return LumosSupervisedResult(
+            test_accuracy=history.test_accuracy,
+            best_val_accuracy=history.best_val_accuracy,
+            history=history,
+            construction=self.construct_trees(),
+            communication_rounds_per_device=float(profile["per_device_rounds"].mean()),
+            simulated_epoch_time=trainer.simulated_epoch_time("supervised"),
+            ledger_summary=self.environment.ledger.summary(self.environment.num_devices),
+        )
+
+    def run_unsupervised(
+        self,
+        edge_split: EdgeSplit,
+        epochs: Optional[int] = None,
+        log_every: int = 0,
+    ) -> LumosUnsupervisedResult:
+        """Train and evaluate the unsupervised link-prediction task."""
+        trainer = self.trainer()
+        _, history = trainer.train_unsupervised(edge_split, epochs=epochs, log_every=log_every)
+        profile = trainer.communication_profile("unsupervised")
+        return LumosUnsupervisedResult(
+            test_auc=history.test_auc,
+            best_val_auc=history.best_val_auc,
+            history=history,
+            construction=self.construct_trees(),
+            communication_rounds_per_device=float(profile["per_device_rounds"].mean()),
+            simulated_epoch_time=trainer.simulated_epoch_time("unsupervised"),
+            ledger_summary=self.environment.ledger.summary(self.environment.num_devices),
+        )
+
+    # ------------------------------------------------------------------ #
+    # System-side inspection helpers (used by Fig. 7 / Fig. 8)
+    # ------------------------------------------------------------------ #
+    def workload_distribution(self) -> np.ndarray:
+        """Per-device workloads after tree construction."""
+        return self.construct_trees().workload_array()
+
+    def summary(self) -> Dict[str, float]:
+        """Headline system statistics."""
+        construction = self.construct_trees()
+        result = {
+            "num_devices": float(self.environment.num_devices),
+            "max_workload": float(construction.max_workload()),
+            "total_tree_nodes": float(construction.total_tree_nodes()),
+            "secure_comparison_bits": float(construction.transcript.bits),
+            "secure_comparisons": float(construction.transcript.comparisons),
+        }
+        result.update(self.environment.ledger.summary(self.environment.num_devices))
+        return result

@@ -1,0 +1,282 @@
+"""MCMC workload balancing (paper Alg. 2 and Alg. 3).
+
+The iterative balancer repeatedly
+
+1. finds the device ``u`` with the largest workload (Alg. 3),
+2. lets ``u`` move ``k`` of its selected neighbours to the other endpoint of
+   the corresponding edges (the transition of Eq. 16/17, with
+   ``k ~ Uniform{1, ..., round(ln |N_u|)}``),
+3. finds the most-loaded device of the transited state,
+4. accepts or rejects the transition with the Metropolis-Hastings rule of
+   Eq. 18: ``P[accept] = min(1, e^{f(X_t) - f(X'_t)})``.
+
+Two execution modes are provided:
+
+* ``secure=True`` runs every workload comparison of Alg. 3 through the
+  simulated CrypTFlow2 protocol (exact message-level simulation; used by the
+  correctness tests and small examples);
+* ``secure=False`` (default) evaluates the comparisons in the clear but
+  charges the *same* analytic communication cost to the transcript
+  accountant and ledger — the resulting assignments are identical, and large
+  benchmark graphs stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..crypto.oblivious_transfer import TranscriptAccountant
+from ..crypto.zero_knowledge import WorkloadComparisonProtocol
+from ..federation.events import SERVER_ID, MessageKind
+from ..federation.simulator import FederatedEnvironment
+from .workload import Assignment
+
+
+@dataclass
+class MCMCResult:
+    """Outcome of a balancing run."""
+
+    assignment: Assignment
+    objective_history: List[int] = field(default_factory=list)
+    accepted_transitions: int = 0
+    iterations: int = 0
+
+    @property
+    def initial_objective(self) -> int:
+        return self.objective_history[0] if self.objective_history else 0
+
+    @property
+    def final_objective(self) -> int:
+        return self.objective_history[-1] if self.objective_history else 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted_transitions / self.iterations if self.iterations else 0.0
+
+
+def find_max_workload_device(
+    environment: FederatedEnvironment,
+    assignment: Assignment,
+    protocol: Optional[WorkloadComparisonProtocol] = None,
+    rng: Optional[np.random.Generator] = None,
+    accountant: Optional[TranscriptAccountant] = None,
+    charge_ledger: bool = True,
+    per_device_ledger: bool = False,
+) -> int:
+    """Alg. 3: return the id of the device with the maximum workload.
+
+    When ``protocol`` is provided, all comparisons run through the secure
+    comparator; otherwise they run in the clear and their cost is charged
+    analytically to ``accountant`` (when given).  ``per_device_ledger``
+    records one ledger message per candidate announcement (exact transcript,
+    used by small examples/tests); the default aggregates the announcements
+    into a single coordination message so thousands of MCMC iterations stay
+    cheap to log.
+    """
+    rng = rng if rng is not None else environment.rng
+    workloads = assignment.workloads()
+
+    # Part 1 (device operation 1): each device compares its workload with its
+    # ego-network neighbours and announces candidacy to the server.
+    candidates: List[int] = []
+    total_neighbor_comparisons = 0
+    if protocol is None and not per_device_ledger:
+        # Vectorised evaluation of exactly the same comparisons.
+        workload_array = np.zeros(environment.num_devices, dtype=np.int64)
+        for vertex, value in workloads.items():
+            workload_array[vertex] = value
+        sources, destinations = environment.directed_edges()
+        neighbor_max = np.zeros(environment.num_devices, dtype=np.int64)
+        if sources.size:
+            np.maximum.at(neighbor_max, sources, workload_array[destinations])
+        total_neighbor_comparisons = int(sources.size)
+        candidates = np.where(workload_array >= neighbor_max)[0].tolist()
+        environment.server._candidates.extend(int(c) for c in candidates)
+        environment.ledger.send(
+            sender=SERVER_ID,
+            recipient=SERVER_ID,
+            kind=MessageKind.SERVER_COORDINATION,
+            size_bytes=environment.num_devices,
+            description="alg3-candidate-announcements",
+        )
+    else:
+        for device_id in environment.device_ids():
+            device = environment.devices[device_id]
+            neighbor_workloads = [workloads[int(v)] for v in device.ego.neighbors]
+            total_neighbor_comparisons += len(neighbor_workloads)
+            if protocol is not None:
+                is_candidate = protocol.is_local_maximum(workloads[device_id], neighbor_workloads)
+            else:
+                is_candidate = all(workloads[device_id] >= other for other in neighbor_workloads)
+            environment.server.receive_candidate(device_id, is_candidate)
+            if is_candidate:
+                candidates.append(device_id)
+
+    # Part 2 (device operation 2): candidates compare among themselves; the
+    # winners (possibly several on ties) report to the server which picks one.
+    if not candidates:
+        # Degenerate case (no edges): every device has workload 0.
+        candidates = [environment.device_ids()[0]]
+    candidate_workloads = [workloads[c] for c in candidates]
+    pairwise_comparisons = len(candidates) * max(len(candidates) - 1, 0)
+    maximum_value = max(candidate_workloads)
+    winners = [c for c, w in zip(candidates, candidate_workloads) if w == maximum_value]
+    if protocol is not None:
+        # Run the comparisons so the secure transcript is exact.
+        winner_index = protocol.argmax(candidate_workloads)
+        if candidate_workloads[winner_index] != maximum_value:
+            raise RuntimeError("secure argmax disagrees with plaintext maximum")
+
+    if accountant is not None and protocol is None:
+        _charge_analytic_comparisons(
+            accountant, total_neighbor_comparisons + pairwise_comparisons
+        )
+    if charge_ledger:
+        _charge_comparison_traffic(environment, total_neighbor_comparisons + pairwise_comparisons)
+
+    chosen = environment.server.select_maximum(winners)
+    environment.server.reset_candidates()
+    return int(chosen)
+
+
+def _charge_analytic_comparisons(
+    accountant: TranscriptAccountant, count: int, bit_width: int = 24, block_bits: int = 4
+) -> None:
+    """Add the cost of ``count`` CrypTFlow2 comparisons without running them."""
+    num_blocks = (bit_width + block_bits - 1) // block_bits
+    ots_per_comparison = 2 * num_blocks
+    bits_per_ot = (1 << block_bits) * 1 + 128
+    and_gate_bits = 2 * block_bits * max(num_blocks - 1, 0)
+    accountant.comparisons += count
+    accountant.ot_invocations += count * ots_per_comparison
+    accountant.messages += count * (ots_per_comparison + max(num_blocks - 1, 0))
+    accountant.bits += count * (ots_per_comparison * bits_per_ot + and_gate_bits)
+
+
+def _charge_comparison_traffic(environment: FederatedEnvironment, count: int) -> None:
+    """Charge aggregated secure-comparison traffic to the environment ledger.
+
+    Alg. 3 traffic belongs to the (one-off) tree-construction phase; we log a
+    single aggregated message so the ledger stays small even for thousands of
+    iterations.
+    """
+    environment.ledger.send(
+        sender=SERVER_ID,
+        recipient=SERVER_ID,
+        kind=MessageKind.SECURE_COMPARISON,
+        size_bytes=count * 8,
+        description=f"alg3-comparisons:{count}",
+    )
+
+
+class MCMCBalancer:
+    """Runs Alg. 2 on a federated environment."""
+
+    def __init__(
+        self,
+        environment: FederatedEnvironment,
+        iterations: int,
+        accountant: Optional[TranscriptAccountant] = None,
+        bit_width: int = 24,
+        secure: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        self.environment = environment
+        self.iterations = iterations
+        self.accountant = accountant if accountant is not None else TranscriptAccountant()
+        self.secure = secure
+        self.bit_width = bit_width
+        self.rng = rng if rng is not None else environment.rng
+        self._protocol = (
+            WorkloadComparisonProtocol(bit_width=bit_width, accountant=self.accountant, rng=self.rng)
+            if secure
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alg. 2
+    # ------------------------------------------------------------------ #
+    def run(self, initial: Assignment) -> MCMCResult:
+        """Execute the MCMC iterations starting from ``initial``."""
+        current = initial.copy()
+        history = [current.objective()]
+        accepted = 0
+
+        for iteration in range(self.iterations):
+            # Line 2: device with the largest workload under X_t.
+            heaviest = find_max_workload_device(
+                self.environment,
+                current,
+                protocol=self._protocol,
+                rng=self.rng,
+                accountant=self.accountant,
+            )
+            source_neighbors = sorted(current.selected.get(heaviest, set()))
+            if not source_neighbors:
+                history.append(current.objective())
+                continue
+
+            # Lines 3-4: sample the step size k and the k neighbours to move.
+            step_limit = max(1, int(round(math.log(len(source_neighbors)))) or 1)
+            step = int(self.rng.integers(1, step_limit + 1))
+            step = min(step, len(source_neighbors))
+            chosen = self.rng.choice(source_neighbors, size=step, replace=False)
+            targets = [int(v) for v in np.atleast_1d(chosen)]
+
+            # Line 5: form X'_t with the transition of Eq. 17.
+            proposal = current.transfer(heaviest, targets)
+            for target in targets:
+                self.environment.exchange(
+                    heaviest, target, MessageKind.SERVER_COORDINATION, 8,
+                    description="mcmc-transition-proposal",
+                )
+
+            # Line 6: device with the largest workload under X'_t.
+            heaviest_after = find_max_workload_device(
+                self.environment,
+                proposal,
+                protocol=self._protocol,
+                rng=self.rng,
+                accountant=self.accountant,
+            )
+
+            # Line 7: f(X_t) - f(X'_t), computed between the two maximal devices.
+            objective_before = current.objective()
+            objective_after = proposal.objective()
+            if self._protocol is not None:
+                difference = self._protocol.objective_difference(objective_before, objective_after)
+            else:
+                difference = objective_before - objective_after
+                _charge_analytic_comparisons(self.accountant, 1, bit_width=self.bit_width)
+            self.environment.exchange(
+                heaviest, heaviest_after, MessageKind.SECURE_COMPARISON, self.bit_width // 8 or 1,
+                description="mcmc-objective-difference",
+            )
+
+            # Line 8: Metropolis-Hastings acceptance (Eq. 18).
+            acceptance_probability = min(1.0, math.exp(min(difference, 50)))
+            if self.rng.random() < acceptance_probability:
+                current = proposal
+                accepted += 1
+                # Line 9: the source device informs the moved neighbours.
+                for target in targets:
+                    self.environment.exchange(
+                        heaviest, target, MessageKind.SERVER_COORDINATION, 8,
+                        description="mcmc-accept-notification",
+                    )
+            history.append(current.objective())
+            self.environment.next_round()
+
+        self.environment.apply_assignment(current.as_lists())
+        return MCMCResult(
+            assignment=current,
+            objective_history=history,
+            accepted_transitions=accepted,
+            iterations=self.iterations,
+        )

@@ -1,0 +1,498 @@
+"""Tree-based GNN trainer (paper Section VI).
+
+Every device performs message passing over its own local tree; afterwards the
+leaf embeddings that refer to the same global vertex are pooled across
+devices (Eq. 31) to obtain the vertex embeddings used for the supervised
+(cross-entropy, Eq. 32) or unsupervised (link prediction, Eq. 33) loss.
+
+Simulation strategy
+-------------------
+The per-device trees share the same GNN weights (the federated model), and no
+edges connect different trees.  Message passing over the *union* of all trees
+— a block-diagonal graph — is therefore mathematically identical to running
+the GNN on every tree separately, so the trainer builds that union graph once
+(:class:`TreeBatch`) and trains on it with ordinary batched linear algebra.
+The federated character of the computation is preserved by the communication
+accounting (:meth:`TreeBasedGNNTrainer.communication_profile` and the epoch
+cost model), which reflects what each *device* would have computed and sent:
+its own tree, its own leaf-embedding exchanges, its own loss share.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..crypto.ldp import FeatureBounds
+from ..federation.events import MessageKind
+from ..federation.simulator import FederatedEnvironment
+from ..gnn.models import EncoderConfig, GNNEncoder
+from ..gnn.pooling import get_pooling
+from ..graph.sparse import symmetric_normalize
+from ..graph.splits import EdgeSplit, NodeSplit
+from ..nn import functional as F
+from ..nn.layers import Linear
+from ..nn.loss import cross_entropy, link_prediction_loss
+from ..nn.module import Module
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor, no_grad
+from .config import TrainerConfig
+from .constructor import TreeConstructionResult
+from .embedding_init import EmbeddingInitializationResult
+from .tree import NodeRole
+
+
+# --------------------------------------------------------------------------- #
+# Union graph of all per-device trees
+# --------------------------------------------------------------------------- #
+@dataclass
+class TreeBatch:
+    """Block-diagonal union of all per-device local graphs."""
+
+    num_nodes: int
+    num_vertices: int
+    adjacency: sp.csr_matrix
+    edge_index: np.ndarray
+    features: np.ndarray
+    leaf_rows: np.ndarray
+    leaf_vertices: np.ndarray
+    device_slices: Dict[int, Tuple[int, int]]
+
+    @classmethod
+    def build(
+        cls,
+        environment: FederatedEnvironment,
+        construction: TreeConstructionResult,
+        initialization: EmbeddingInitializationResult,
+        feature_dim: int,
+    ) -> "TreeBatch":
+        """Assemble the union graph, its initial embeddings and leaf mapping.
+
+        Initial embeddings follow Eq. 25: centre leaves carry the device's own
+        raw feature, neighbour leaves carry the LDP-recovered feature received
+        from that neighbour, virtual nodes carry zeros.
+        """
+        device_slices: Dict[int, Tuple[int, int]] = {}
+        rows: List[int] = []
+        cols: List[int] = []
+        leaf_rows: List[int] = []
+        leaf_vertices: List[int] = []
+        offset = 0
+        feature_blocks: List[np.ndarray] = []
+
+        for device_id in environment.device_ids():
+            local_graph = construction.local_graphs[device_id]
+            device = environment.devices[device_id]
+            size = local_graph.num_nodes
+            device_slices[device_id] = (offset, size)
+
+            block = np.zeros((size, feature_dim), dtype=np.float64)
+            for node in local_graph.nodes:
+                global_row = offset + node.local_id
+                if node.vertex is None:
+                    continue
+                leaf_rows.append(global_row)
+                leaf_vertices.append(int(node.vertex))
+                if node.vertex == device_id:
+                    block[node.local_id] = device.ego.feature
+                else:
+                    received = initialization.received_features[device_id].get(int(node.vertex))
+                    if received is None:
+                        # The neighbour never released its feature (degenerate
+                        # trimming corner case); use the uninformative midpoint.
+                        received = np.full(feature_dim, 0.5)
+                    block[node.local_id] = received
+            feature_blocks.append(block)
+
+            for u, v in local_graph.edges:
+                rows.append(offset + u)
+                cols.append(offset + v)
+                rows.append(offset + v)
+                cols.append(offset + u)
+            offset += size
+
+        num_nodes = offset
+        data = np.ones(len(rows), dtype=np.float64)
+        adjacency_raw = sp.csr_matrix(
+            (data, (np.asarray(rows), np.asarray(cols))), shape=(num_nodes, num_nodes)
+        )
+        adjacency = symmetric_normalize(adjacency_raw, self_loops=True)
+        src = np.concatenate([np.asarray(cols, dtype=np.int64), np.arange(num_nodes)])
+        dst = np.concatenate([np.asarray(rows, dtype=np.int64), np.arange(num_nodes)])
+        edge_index = np.stack([src, dst])
+
+        features = (
+            np.concatenate(feature_blocks, axis=0)
+            if feature_blocks
+            else np.zeros((0, feature_dim))
+        )
+        return cls(
+            num_nodes=num_nodes,
+            num_vertices=environment.num_devices,
+            adjacency=adjacency,
+            edge_index=edge_index,
+            features=features,
+            leaf_rows=np.asarray(leaf_rows, dtype=np.int64),
+            leaf_vertices=np.asarray(leaf_vertices, dtype=np.int64),
+            device_slices=device_slices,
+        )
+
+
+class _BatchGraphInput:
+    """Adapter exposing the union graph in the format GNNEncoder expects."""
+
+    def __init__(self, batch: TreeBatch) -> None:
+        self.adjacency = batch.adjacency
+        self.edge_index = batch.edge_index
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.adjacency.shape[0])
+
+
+# --------------------------------------------------------------------------- #
+# The Lumos model: encoder over trees + cross-device POOL + task heads
+# --------------------------------------------------------------------------- #
+class LumosModel(Module):
+    """Shared federated model: tree GNN encoder, POOL layer and classifier head."""
+
+    def __init__(
+        self,
+        feature_dim: int,
+        num_classes: Optional[int],
+        config: TrainerConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        encoder_config = EncoderConfig(
+            backbone=config.backbone,
+            num_layers=config.num_layers,
+            hidden_dim=config.hidden_dim,
+            output_dim=config.output_dim,
+            dropout=config.dropout,
+            num_heads=config.num_heads,
+        )
+        self.encoder = GNNEncoder(feature_dim, encoder_config, rng=rng)
+        self.pooling = get_pooling(config.pooling)
+        self.head = (
+            Linear(self.encoder.output_dim, num_classes, rng=rng)
+            if num_classes is not None
+            else None
+        )
+
+    def vertex_embeddings(self, batch: TreeBatch, features: Tensor) -> Tensor:
+        """Run message passing on every tree and pool leaves per vertex (Eq. 31)."""
+        node_embeddings = self.encoder(features, _BatchGraphInput(batch))
+        leaf_embeddings = F.gather(node_embeddings, batch.leaf_rows)
+        return self.pooling(leaf_embeddings, batch.leaf_vertices, batch.num_vertices)
+
+    def logits(self, batch: TreeBatch, features: Tensor) -> Tensor:
+        """Class logits per vertex (supervised task, Eq. 32)."""
+        if self.head is None:
+            raise RuntimeError("model was built without a classification head")
+        return self.head(self.vertex_embeddings(batch, features))
+
+
+# --------------------------------------------------------------------------- #
+# Cost model for the simulated system metrics (Fig. 8)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EpochCostModel:
+    """Translates per-device work into simulated per-epoch wall-clock time.
+
+    ``compute_per_node`` is the cost of one tree node in one epoch (forward +
+    backward), ``time_per_round`` is the latency of one inter-device
+    communication round, and ``fixed_overhead`` covers the per-epoch work that
+    trimming cannot remove (optimizer step, loss aggregation barrier).  The
+    epoch ends when the slowest device finishes (synchronous protocol).
+    """
+
+    compute_per_node: float = 0.03
+    time_per_round: float = 0.25
+    fixed_overhead: float = 20.0
+
+    def epoch_time(self, tree_sizes: np.ndarray, rounds_per_device: np.ndarray) -> float:
+        """Simulated duration of one epoch (seconds)."""
+        per_device = (
+            tree_sizes.astype(np.float64) * self.compute_per_node
+            + rounds_per_device.astype(np.float64) * self.time_per_round
+        )
+        return float(self.fixed_overhead + per_device.max()) if per_device.size else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Training histories
+# --------------------------------------------------------------------------- #
+@dataclass
+class SupervisedHistory:
+    """Per-epoch record of a supervised training run."""
+
+    losses: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: float = 0.0
+    best_val_accuracy: float = 0.0
+    wall_clock_seconds: float = 0.0
+
+
+@dataclass
+class UnsupervisedHistory:
+    """Per-epoch record of an unsupervised training run."""
+
+    losses: List[float] = field(default_factory=list)
+    val_auc: List[float] = field(default_factory=list)
+    test_auc: float = 0.0
+    best_val_auc: float = 0.0
+    wall_clock_seconds: float = 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Trainer
+# --------------------------------------------------------------------------- #
+class TreeBasedGNNTrainer:
+    """Trains the Lumos model over a federated environment."""
+
+    def __init__(
+        self,
+        environment: FederatedEnvironment,
+        construction: TreeConstructionResult,
+        initialization: EmbeddingInitializationResult,
+        config: TrainerConfig,
+        rng: Optional[np.random.Generator] = None,
+        cost_model: EpochCostModel = EpochCostModel(),
+    ) -> None:
+        self.environment = environment
+        self.construction = construction
+        self.initialization = initialization
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.cost_model = cost_model
+
+        sample_feature = next(iter(environment.devices.values())).ego.feature
+        self.feature_dim = int(sample_feature.shape[0])
+        self.batch = TreeBatch.build(environment, construction, initialization, self.feature_dim)
+        self._features = Tensor(self.batch.features)
+
+    # ------------------------------------------------------------------ #
+    # System metrics
+    # ------------------------------------------------------------------ #
+    def tree_sizes(self) -> np.ndarray:
+        """Number of local-graph nodes per device."""
+        sizes = np.zeros(self.environment.num_devices, dtype=np.int64)
+        for device_id, (start, size) in self.batch.device_slices.items():
+            sizes[device_id] = size
+        return sizes
+
+    def communication_profile(self, task: str = "supervised") -> Dict[str, np.ndarray]:
+        """Per-device inter-device communication rounds in one training epoch.
+
+        A device ``u`` participates in one round per leaf-embedding it sends
+        (``wl(u)``, one per selected neighbour), one per embedding it receives
+        back (one for every device that kept ``u``), and one round of loss
+        aggregation.  The unsupervised task additionally requests and receives
+        negative-sample embeddings — as many as the device's original degree,
+        independent of trimming (negatives are non-neighbours).
+        """
+        if task not in ("supervised", "unsupervised"):
+            raise ValueError("task must be 'supervised' or 'unsupervised'")
+        num_devices = self.environment.num_devices
+        workloads = self.construction.assignment.workload_array()
+        if workloads.shape[0] < num_devices:
+            workloads = np.pad(workloads, (0, num_devices - workloads.shape[0]))
+
+        incoming = np.zeros(num_devices, dtype=np.int64)
+        for device_id, selected in self.construction.assignment.selected.items():
+            for neighbor in selected:
+                incoming[int(neighbor)] += 1
+
+        rounds = workloads + incoming + 1
+        if task == "unsupervised":
+            degrees = np.zeros(num_devices, dtype=np.int64)
+            for device_id, device in self.environment.devices.items():
+                degrees[device_id] = device.degree
+            rounds = rounds + 2 * degrees
+        return {
+            "per_device_rounds": rounds,
+            "workloads": workloads,
+            "incoming": incoming,
+        }
+
+    def simulated_epoch_time(self, task: str = "supervised") -> float:
+        """Simulated wall-clock duration of one synchronous epoch (Fig. 8b)."""
+        profile = self.communication_profile(task)
+        return self.cost_model.epoch_time(self.tree_sizes(), profile["per_device_rounds"])
+
+    def _charge_epoch(self, task: str) -> None:
+        """Charge one epoch's communication and compute to the ledger (aggregated)."""
+        profile = self.communication_profile(task)
+        total_rounds = int(profile["per_device_rounds"].sum())
+        self.environment.ledger.send(
+            sender=0,
+            recipient=0,
+            kind=MessageKind.EMBEDDING_EXCHANGE,
+            size_bytes=total_rounds * self.config.output_dim * 8,
+            description=f"epoch-{task}-rounds:{total_rounds}",
+        )
+        sizes = self.tree_sizes()
+        for device_id in range(sizes.shape[0]):
+            self.environment.ledger.compute(
+                device_id, float(sizes[device_id]), description="tree-gnn-epoch"
+            )
+        self.environment.next_round()
+
+    # ------------------------------------------------------------------ #
+    # Supervised training (node classification)
+    # ------------------------------------------------------------------ #
+    def train_supervised(
+        self,
+        labels: np.ndarray,
+        split: NodeSplit,
+        epochs: Optional[int] = None,
+        log_every: int = 0,
+    ) -> Tuple[LumosModel, SupervisedHistory]:
+        """Train for node classification and return the model and its history."""
+        labels = np.asarray(labels, dtype=np.int64)
+        num_classes = int(labels.max()) + 1
+        epochs = epochs if epochs is not None else self.config.epochs
+        model = LumosModel(self.feature_dim, num_classes, self.config, rng=self.rng)
+        optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        history = SupervisedHistory()
+        best_state = None
+        start = time.perf_counter()
+
+        for epoch in range(epochs):
+            model.train()
+            logits = model.logits(self.batch, self._features)
+            loss = cross_entropy(logits, labels, mask=split.train_mask)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+            with no_grad():
+                model.eval()
+                eval_logits = model.logits(self.batch, self._features)
+                predictions = np.argmax(eval_logits.data, axis=1)
+            train_acc = float((predictions[split.train_mask] == labels[split.train_mask]).mean())
+            val_acc = float((predictions[split.val_mask] == labels[split.val_mask]).mean())
+            history.losses.append(loss.item())
+            history.train_accuracy.append(train_acc)
+            history.val_accuracy.append(val_acc)
+            if val_acc >= history.best_val_accuracy:
+                history.best_val_accuracy = val_acc
+                best_state = model.state_dict()
+            self._charge_epoch("supervised")
+            if log_every and (epoch + 1) % log_every == 0:
+                print(
+                    f"[lumos supervised] epoch {epoch + 1}/{epochs} "
+                    f"loss={loss.item():.4f} val_acc={val_acc:.4f}"
+                )
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        with no_grad():
+            model.eval()
+            final_logits = model.logits(self.batch, self._features)
+            final_predictions = np.argmax(final_logits.data, axis=1)
+        history.test_accuracy = float(
+            (final_predictions[split.test_mask] == labels[split.test_mask]).mean()
+        )
+        history.wall_clock_seconds = time.perf_counter() - start
+        return model, history
+
+    # ------------------------------------------------------------------ #
+    # Unsupervised training (link prediction)
+    # ------------------------------------------------------------------ #
+    def train_unsupervised(
+        self,
+        edge_split: EdgeSplit,
+        epochs: Optional[int] = None,
+        log_every: int = 0,
+    ) -> Tuple[LumosModel, UnsupervisedHistory]:
+        """Train with the link-prediction objective of Eq. 33."""
+        epochs = epochs if epochs is not None else self.config.epochs
+        model = LumosModel(self.feature_dim, None, self.config, rng=self.rng)
+        optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
+        history = UnsupervisedHistory()
+        best_state = None
+        start = time.perf_counter()
+
+        train_pairs = np.asarray(edge_split.train_edges, dtype=np.int64)
+        existing = {tuple(sorted((int(u), int(v)))) for u, v in train_pairs}
+
+        for epoch in range(epochs):
+            model.train()
+            embeddings = model.vertex_embeddings(self.batch, self._features)
+            negatives = self._sample_negative_pairs(train_pairs, existing)
+            loss = link_prediction_loss(
+                F.gather(embeddings, train_pairs[:, 0]),
+                F.gather(embeddings, train_pairs[:, 1]),
+                F.gather(embeddings, negatives[:, 1]),
+            )
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+            with no_grad():
+                model.eval()
+                eval_embeddings = model.vertex_embeddings(self.batch, self._features)
+            val_auc = roc_auc_from_embeddings(
+                eval_embeddings.data, edge_split.val_edges, edge_split.val_negatives
+            )
+            history.losses.append(loss.item())
+            history.val_auc.append(val_auc)
+            if val_auc >= history.best_val_auc:
+                history.best_val_auc = val_auc
+                best_state = model.state_dict()
+            self._charge_epoch("unsupervised")
+            if log_every and (epoch + 1) % log_every == 0:
+                print(
+                    f"[lumos unsupervised] epoch {epoch + 1}/{epochs} "
+                    f"loss={loss.item():.4f} val_auc={val_auc:.4f}"
+                )
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        with no_grad():
+            model.eval()
+            final_embeddings = model.vertex_embeddings(self.batch, self._features)
+        history.test_auc = roc_auc_from_embeddings(
+            final_embeddings.data, edge_split.test_edges, edge_split.test_negatives
+        )
+        history.wall_clock_seconds = time.perf_counter() - start
+        return model, history
+
+    def _sample_negative_pairs(self, positive_pairs: np.ndarray, existing: set) -> np.ndarray:
+        """One negative (u, w) per positive (u, v) with (u, w) not an edge."""
+        num_vertices = self.environment.num_devices
+        negatives = np.empty_like(positive_pairs)
+        for index, (u, _) in enumerate(positive_pairs):
+            for _ in range(20):
+                candidate = int(self.rng.integers(num_vertices))
+                if candidate != int(u) and tuple(sorted((int(u), candidate))) not in existing:
+                    break
+            negatives[index] = (int(u), candidate)
+        return negatives
+
+
+def roc_auc_from_embeddings(
+    embeddings: np.ndarray, positive_edges: np.ndarray, negative_edges: np.ndarray
+) -> float:
+    """ROC-AUC of inner-product scores on positive vs negative vertex pairs."""
+    from ..eval.metrics import roc_auc_score
+
+    positive_edges = np.asarray(positive_edges, dtype=np.int64)
+    negative_edges = np.asarray(negative_edges, dtype=np.int64)
+    positive_scores = np.sum(
+        embeddings[positive_edges[:, 0]] * embeddings[positive_edges[:, 1]], axis=1
+    )
+    negative_scores = np.sum(
+        embeddings[negative_edges[:, 0]] * embeddings[negative_edges[:, 1]], axis=1
+    )
+    scores = np.concatenate([positive_scores, negative_scores])
+    targets = np.concatenate([np.ones(len(positive_scores)), np.zeros(len(negative_scores))])
+    return roc_auc_score(targets, scores)

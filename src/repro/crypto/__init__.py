@@ -1,0 +1,37 @@
+"""Privacy substrate: LDP mechanisms and secure comparison protocols."""
+
+from .ldp import (
+    FeatureBinPartitioner,
+    FeatureBounds,
+    GaussianMechanism,
+    OneBitMechanism,
+    RandomizedResponse,
+)
+from .oblivious_transfer import ObliviousTransfer, OTResult, TranscriptAccountant
+from .secure_compare import ComparisonResult, SecureComparator, secure_max_index
+from .zero_knowledge import (
+    DegreeComparisonOutcome,
+    DegreeComparisonProtocol,
+    WorkloadComparisonProtocol,
+    log_degree_bucket,
+    verify_zero_knowledge_transcript,
+)
+
+__all__ = [
+    "FeatureBounds",
+    "OneBitMechanism",
+    "FeatureBinPartitioner",
+    "GaussianMechanism",
+    "RandomizedResponse",
+    "ObliviousTransfer",
+    "OTResult",
+    "TranscriptAccountant",
+    "SecureComparator",
+    "ComparisonResult",
+    "secure_max_index",
+    "DegreeComparisonProtocol",
+    "DegreeComparisonOutcome",
+    "WorkloadComparisonProtocol",
+    "log_degree_bucket",
+    "verify_zero_knowledge_transcript",
+]

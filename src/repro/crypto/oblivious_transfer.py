@@ -1,0 +1,133 @@
+"""Simulated 1-out-of-2 oblivious transfer (OT).
+
+CrypTFlow2's millionaires' protocol — which Lumos uses to compare node
+degrees and workloads without revealing them — is built from 1-out-of-2 OT
+invocations.  A real deployment would use an OT extension over a network; in
+this single-process reproduction we *simulate* the protocol faithfully at the
+message level:
+
+* the sender holds two messages ``m0`` and ``m1``;
+* the receiver holds a choice bit ``c`` and learns exactly ``m_c``;
+* the sender learns nothing about ``c``; the receiver learns nothing about
+  ``m_{1-c}``.
+
+The information boundary is enforced structurally: the receiver only ever
+receives the XOR-masked pair and the key for its chosen message, and the
+implementation records every transmitted bit in a
+:class:`TranscriptAccountant` so benches can report communication cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TranscriptAccountant:
+    """Counts messages and bits exchanged by the simulated crypto protocols."""
+
+    messages: int = 0
+    bits: int = 0
+    ot_invocations: int = 0
+    comparisons: int = 0
+    _log: List[str] = field(default_factory=list)
+
+    def record(self, description: str, bits: int) -> None:
+        """Record one message of ``bits`` bits."""
+        self.messages += 1
+        self.bits += int(bits)
+        if len(self._log) < 10_000:
+            self._log.append(f"{description}:{bits}")
+
+    def record_ot(self, message_bits: int) -> None:
+        """Record one 1-out-of-2 OT of ``message_bits``-bit messages.
+
+        A semi-honest OT costs one masked pair from sender to receiver plus a
+        constant-size choice message; we account 2 * message_bits + 128 bits
+        (the 128-bit term standing in for the public-key / base-OT overhead).
+        """
+        self.ot_invocations += 1
+        self.record("ot", 2 * message_bits + 128)
+
+    def merge(self, other: "TranscriptAccountant") -> None:
+        """Fold another accountant's counters into this one."""
+        self.messages += other.messages
+        self.bits += other.bits
+        self.ot_invocations += other.ot_invocations
+        self.comparisons += other.comparisons
+
+    def snapshot(self) -> dict:
+        """Return the counters as a plain dictionary."""
+        return {
+            "messages": self.messages,
+            "bits": self.bits,
+            "ot_invocations": self.ot_invocations,
+            "comparisons": self.comparisons,
+        }
+
+
+@dataclass(frozen=True)
+class OTResult:
+    """Outcome of one oblivious transfer as observed by the receiver."""
+
+    chosen_message: int
+    message_bits: int
+
+
+class ObliviousTransfer:
+    """Simulated semi-honest 1-out-of-2 OT with XOR one-time pads."""
+
+    def __init__(
+        self,
+        accountant: Optional[TranscriptAccountant] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.accountant = accountant if accountant is not None else TranscriptAccountant()
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def transfer(self, message_zero: int, message_one: int, choice: int, message_bits: int = 32) -> OTResult:
+        """Run one OT: the receiver with ``choice`` learns exactly one message.
+
+        Parameters
+        ----------
+        message_zero, message_one:
+            The sender's two messages (non-negative integers below
+            ``2 ** message_bits``).
+        choice:
+            The receiver's choice bit (0 or 1).
+        message_bits:
+            Bit width of the messages, used for communication accounting.
+        """
+        if choice not in (0, 1):
+            raise ValueError("choice must be 0 or 1")
+        modulus = 1 << message_bits
+        for name, message in (("message_zero", message_zero), ("message_one", message_one)):
+            if not 0 <= message < modulus:
+                raise ValueError(f"{name} must lie in [0, 2^{message_bits})")
+
+        # Sender masks both messages with independent one-time pads; the
+        # receiver obtains only the pad of its chosen index (this is the step
+        # a real protocol realises with public-key base OTs).
+        pad_zero = int(self._rng.integers(modulus))
+        pad_one = int(self._rng.integers(modulus))
+        masked = (message_zero ^ pad_zero, message_one ^ pad_one)
+        chosen_pad = pad_one if choice else pad_zero
+        self.accountant.record_ot(message_bits)
+
+        chosen_message = masked[choice] ^ chosen_pad
+        return OTResult(chosen_message=chosen_message, message_bits=message_bits)
+
+    def transfer_table(self, table: Tuple[int, ...], choice: int, message_bits: int = 32) -> int:
+        """1-out-of-N OT built from a direct table lookup with N-message cost.
+
+        CrypTFlow2 uses 1-out-of-16 OTs for blocks of 4 bits; we account the
+        communication as ``N * message_bits`` and return only the chosen entry.
+        """
+        if not 0 <= choice < len(table):
+            raise ValueError("choice out of table range")
+        self.accountant.ot_invocations += 1
+        self.accountant.record("ot-n", len(table) * message_bits + 128)
+        return int(table[choice])

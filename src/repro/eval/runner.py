@@ -1,0 +1,261 @@
+"""Experiment runner: one entry point per comparison the paper makes.
+
+Every function takes an :class:`ExperimentScale` so the same code drives the
+quick benchmark configurations (small synthetic graphs, tens of epochs) and
+larger runs.  The returned dictionaries are consumed by
+:mod:`repro.eval.figures` and by the pytest benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import (
+    train_centralized_supervised,
+    train_centralized_unsupervised,
+    train_lpgnn_supervised,
+    train_naive_fedgnn_supervised,
+    train_naive_fedgnn_unsupervised,
+)
+from ..core import LumosSystem, default_config_for
+from ..core.config import LumosConfig
+from ..graph import Graph, load_dataset, split_edges, split_nodes
+from .metrics import relative_change
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size / effort knobs shared by all experiments."""
+
+    num_nodes: Optional[int] = 400
+    epochs: int = 80
+    mcmc_iterations: int = 150
+    seed: int = 0
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """Quick configuration used by the pytest benchmarks."""
+        return cls(num_nodes=300, epochs=50, mcmc_iterations=100, seed=0)
+
+    @classmethod
+    def medium(cls) -> "ExperimentScale":
+        """Configuration closer to the paper's setup (minutes per figure)."""
+        return cls(num_nodes=800, epochs=150, mcmc_iterations=300, seed=0)
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """Paper-scale run (uses the full synthetic graphs and 300 epochs)."""
+        return cls(num_nodes=None, epochs=300, mcmc_iterations=1000, seed=0)
+
+
+def _prepare(dataset: str, scale: ExperimentScale) -> Graph:
+    return load_dataset(dataset, seed=scale.seed, num_nodes=scale.num_nodes)
+
+
+def _lumos_config(dataset: str, scale: ExperimentScale, backbone: str, epsilon: float = 2.0) -> LumosConfig:
+    return (
+        default_config_for(dataset)
+        .with_mcmc_iterations(scale.mcmc_iterations)
+        .with_epochs(scale.epochs)
+        .with_backbone(backbone)
+        .with_epsilon(epsilon)
+        .with_seed(scale.seed)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 3 — supervised accuracy comparison
+# --------------------------------------------------------------------------- #
+def run_supervised_comparison(
+    dataset: str,
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+    methods: Optional[List[str]] = None,
+) -> Dict[str, float]:
+    """Test accuracy of Lumos and the baselines on one dataset + backbone."""
+    methods = methods or ["lumos", "centralized", "lpgnn", "naive_fedgnn"]
+    graph = _prepare(dataset, scale)
+    split = split_nodes(graph, seed=scale.seed)
+    results: Dict[str, float] = {}
+
+    if "lumos" in methods:
+        system = LumosSystem(graph, _lumos_config(dataset, scale, backbone))
+        results["lumos"] = system.run_supervised(split).test_accuracy
+    if "centralized" in methods:
+        results["centralized"] = train_centralized_supervised(
+            graph, split, backbone=backbone, epochs=scale.epochs, seed=scale.seed
+        ).test_accuracy
+    if "lpgnn" in methods:
+        results["lpgnn"] = train_lpgnn_supervised(
+            graph, split, backbone=backbone, epochs=scale.epochs, seed=scale.seed
+        ).test_accuracy
+    if "naive_fedgnn" in methods:
+        results["naive_fedgnn"] = train_naive_fedgnn_supervised(
+            graph, split, backbone=backbone, epochs=scale.epochs, seed=scale.seed
+        ).test_accuracy
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4 — unsupervised (link prediction) comparison
+# --------------------------------------------------------------------------- #
+def run_unsupervised_comparison(
+    dataset: str,
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+    methods: Optional[List[str]] = None,
+) -> Dict[str, float]:
+    """Test ROC-AUC of Lumos, centralized and naive FedGNN."""
+    methods = methods or ["lumos", "centralized", "naive_fedgnn"]
+    graph = _prepare(dataset, scale)
+    edge_split = split_edges(graph, seed=scale.seed)
+    results: Dict[str, float] = {}
+
+    if "lumos" in methods:
+        system = LumosSystem(graph, _lumos_config(dataset, scale, backbone))
+        results["lumos"] = system.run_unsupervised(edge_split).test_auc
+    if "centralized" in methods:
+        results["centralized"] = train_centralized_unsupervised(
+            graph, edge_split, backbone=backbone, epochs=scale.epochs, seed=scale.seed
+        ).test_auc
+    if "naive_fedgnn" in methods:
+        results["naive_fedgnn"] = train_naive_fedgnn_unsupervised(
+            graph, edge_split, backbone=backbone, epochs=scale.epochs, seed=scale.seed
+        ).test_auc
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5 — sensitivity to the privacy budget
+# --------------------------------------------------------------------------- #
+def run_epsilon_sweep(
+    dataset: str,
+    task: str = "supervised",
+    epsilons: Optional[List[float]] = None,
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+) -> Dict[float, float]:
+    """Lumos accuracy / AUC as a function of the privacy budget ``epsilon``."""
+    epsilons = epsilons or [0.5, 1.0, 2.0, 4.0]
+    graph = _prepare(dataset, scale)
+    results: Dict[float, float] = {}
+    for epsilon in epsilons:
+        system = LumosSystem(graph, _lumos_config(dataset, scale, backbone, epsilon=epsilon))
+        if task == "supervised":
+            split = split_nodes(graph, seed=scale.seed)
+            results[epsilon] = system.run_supervised(split).test_accuracy
+        else:
+            edge_split = split_edges(graph, seed=scale.seed)
+            results[epsilon] = system.run_unsupervised(edge_split).test_auc
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 — ablation of virtual nodes and tree trimming (accuracy side)
+# --------------------------------------------------------------------------- #
+def run_ablation(
+    dataset: str,
+    task: str = "supervised",
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+) -> Dict[str, float]:
+    """Lumos vs Lumos w.o. virtual nodes vs Lumos w.o. tree trimming."""
+    graph = _prepare(dataset, scale)
+    configs = {
+        "lumos": _lumos_config(dataset, scale, backbone),
+        "lumos_wo_vn": _lumos_config(dataset, scale, backbone).without_virtual_nodes(),
+        "lumos_wo_tt": _lumos_config(dataset, scale, backbone).without_tree_trimming(),
+    }
+    results: Dict[str, float] = {}
+    for name, config in configs.items():
+        system = LumosSystem(graph, config)
+        if task == "supervised":
+            split = split_nodes(graph, seed=scale.seed)
+            results[name] = system.run_supervised(split).test_accuracy
+        else:
+            edge_split = split_edges(graph, seed=scale.seed)
+            results[name] = system.run_unsupervised(edge_split).test_auc
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7 — workload CDF with / without tree trimming
+# --------------------------------------------------------------------------- #
+def run_workload_analysis(
+    dataset: str,
+    scale: ExperimentScale = ExperimentScale(),
+) -> Dict[str, np.ndarray]:
+    """Per-device workload arrays for Lumos and Lumos w.o. TT."""
+    graph = _prepare(dataset, scale)
+    trimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn"))
+    untrimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn").without_tree_trimming())
+    return {
+        "lumos": trimmed.workload_distribution(),
+        "lumos_wo_tt": untrimmed.workload_distribution(),
+        "degrees": graph.degrees(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8 — system cost (communication rounds and epoch time)
+# --------------------------------------------------------------------------- #
+def run_system_cost(
+    dataset: str,
+    scale: ExperimentScale = ExperimentScale(),
+) -> Dict[str, Dict[str, float]]:
+    """Per-epoch communication rounds and simulated epoch time, with/without TT."""
+    graph = _prepare(dataset, scale)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, config in (
+        ("lumos", _lumos_config(dataset, scale, "gcn")),
+        ("lumos_wo_tt", _lumos_config(dataset, scale, "gcn").without_tree_trimming()),
+    ):
+        system = LumosSystem(graph, config)
+        trainer = system.trainer()
+        entry: Dict[str, float] = {}
+        for task in ("supervised", "unsupervised"):
+            profile = trainer.communication_profile(task)
+            entry[f"{task}_rounds_per_device"] = float(profile["per_device_rounds"].mean())
+            entry[f"{task}_epoch_time"] = trainer.simulated_epoch_time(task)
+        entry["max_workload"] = float(system.workload_distribution().max())
+        results[name] = entry
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Headline claims (abstract / introduction)
+# --------------------------------------------------------------------------- #
+def run_headline_summary(
+    dataset: str = "facebook",
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+) -> Dict[str, float]:
+    """Reproduce the abstract's three headline numbers on one dataset.
+
+    * accuracy increase of Lumos over the (naive) federated baseline,
+    * reduction of inter-device communication rounds from tree trimming,
+    * reduction of training time from tree trimming.
+    """
+    supervised = run_supervised_comparison(
+        dataset, backbone=backbone, scale=scale, methods=["lumos", "naive_fedgnn"]
+    )
+    system_cost = run_system_cost(dataset, scale=scale)
+    accuracy_gain = relative_change(supervised["naive_fedgnn"], supervised["lumos"])
+    rounds_saving = -relative_change(
+        system_cost["lumos_wo_tt"]["supervised_rounds_per_device"],
+        system_cost["lumos"]["supervised_rounds_per_device"],
+    )
+    time_saving = -relative_change(
+        system_cost["lumos_wo_tt"]["supervised_epoch_time"],
+        system_cost["lumos"]["supervised_epoch_time"],
+    )
+    return {
+        "lumos_accuracy": supervised["lumos"],
+        "naive_fedgnn_accuracy": supervised["naive_fedgnn"],
+        "accuracy_gain_percent": accuracy_gain,
+        "communication_rounds_saving_percent": rounds_saving,
+        "training_time_saving_percent": time_saving,
+    }

@@ -1,0 +1,19 @@
+"""Federated runtime simulator: devices, server, communication accounting."""
+
+from .device import Device, build_devices
+from .events import SERVER_ID, ComputeEvent, Message, MessageKind
+from .network import CommunicationLedger
+from .server import Server
+from .simulator import FederatedEnvironment
+
+__all__ = [
+    "Device",
+    "build_devices",
+    "Server",
+    "Message",
+    "ComputeEvent",
+    "MessageKind",
+    "SERVER_ID",
+    "CommunicationLedger",
+    "FederatedEnvironment",
+]

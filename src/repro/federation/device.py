@@ -1,0 +1,101 @@
+"""Device abstraction for the node-level federated setting.
+
+A :class:`Device` wraps one :class:`~repro.graph.ego.EgoNetwork` and owns all
+state that the paper keeps on the client side: the (trimmed) neighbour set
+``N_u``, the constructed tree, the encoded features received from neighbours,
+and the locally computed embeddings.  Devices never read each other's private
+attributes directly — all cross-device state movement goes through the
+simulator / ledger so communication is accounted for and the privacy boundary
+stays auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.ego import EgoNetwork
+
+
+@dataclass
+class Device:
+    """One federated client (one vertex of the global graph)."""
+
+    ego: EgoNetwork
+    # --- tree-constructor state -------------------------------------------------
+    selected_neighbors: List[int] = field(default_factory=list)
+    # --- trainer state ----------------------------------------------------------
+    received_features: Dict[int, np.ndarray] = field(default_factory=dict)
+    received_embeddings: Dict[int, np.ndarray] = field(default_factory=dict)
+    vertex_embedding: Optional[np.ndarray] = None
+
+    @property
+    def device_id(self) -> int:
+        """Global vertex id of this device."""
+        return self.ego.center
+
+    @property
+    def degree(self) -> int:
+        """Private degree of the device (never shared in clear)."""
+        return self.ego.degree
+
+    @property
+    def workload(self) -> int:
+        """Current workload ``wl(u)`` = number of selected neighbours."""
+        return len(self.selected_neighbors)
+
+    def reset_training_state(self) -> None:
+        """Drop all per-epoch state (received features / embeddings)."""
+        self.received_features.clear()
+        self.received_embeddings.clear()
+        self.vertex_embedding = None
+
+    def select_all_neighbors(self) -> None:
+        """Initialise the selection with the full neighbour set (no trimming)."""
+        self.selected_neighbors = [int(v) for v in self.ego.neighbors]
+
+    def select_neighbors(self, neighbors: List[int]) -> None:
+        """Replace the selected-neighbour set.
+
+        Every selected neighbour must actually be a neighbour in the ego
+        network — a device can only ever keep edges it already owns.
+        """
+        allowed = set(int(v) for v in self.ego.neighbors)
+        cleaned = []
+        for vertex in neighbors:
+            vertex = int(vertex)
+            if vertex not in allowed:
+                raise ValueError(
+                    f"device {self.device_id} cannot select non-neighbour {vertex}"
+                )
+            cleaned.append(vertex)
+        self.selected_neighbors = sorted(set(cleaned))
+
+    def add_selected_neighbor(self, vertex: int) -> None:
+        """Add one neighbour to the selection (MCMC transition, Eq. 16/17)."""
+        vertex = int(vertex)
+        if not self.ego.has_neighbor(vertex):
+            raise ValueError(f"device {self.device_id} has no neighbour {vertex}")
+        if vertex not in self.selected_neighbors:
+            self.selected_neighbors = sorted(self.selected_neighbors + [vertex])
+
+    def remove_selected_neighbor(self, vertex: int) -> None:
+        """Remove one neighbour from the selection (MCMC transition)."""
+        vertex = int(vertex)
+        if vertex in self.selected_neighbors:
+            self.selected_neighbors = [v for v in self.selected_neighbors if v != vertex]
+
+    def store_received_feature(self, sender: int, feature: np.ndarray) -> None:
+        """Store an encoded/recovered feature received from a neighbour."""
+        self.received_features[int(sender)] = np.asarray(feature, dtype=np.float64)
+
+    def store_received_embedding(self, sender: int, embedding: np.ndarray) -> None:
+        """Store a leaf embedding received from a neighbouring device."""
+        self.received_embeddings[int(sender)] = np.asarray(embedding, dtype=np.float64)
+
+
+def build_devices(partition: Dict[int, EgoNetwork]) -> Dict[int, Device]:
+    """Wrap every ego network of a node-level partition into a :class:`Device`."""
+    return {vertex: Device(ego=ego) for vertex, ego in partition.items()}

@@ -1,0 +1,64 @@
+"""Message and event records for the federated runtime simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageKind(Enum):
+    """Categories of inter-party traffic tracked by the simulator.
+
+    The categories mirror the communication the paper accounts for:
+    feature exchange and embedding exchange dominate the per-epoch
+    inter-device rounds (Fig. 8a), while the secure-comparison and server
+    coordination traffic belongs to the one-off tree-construction phase.
+    """
+
+    FEATURE_EXCHANGE = "feature_exchange"
+    EMBEDDING_EXCHANGE = "embedding_exchange"
+    LOSS_EXCHANGE = "loss_exchange"
+    SECURE_COMPARISON = "secure_comparison"
+    SERVER_COORDINATION = "server_coordination"
+    MODEL_SYNC = "model_sync"
+    OTHER = "other"
+
+
+SERVER_ID = -1
+"""Pseudo device id used for the central server in message records."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single directed message between two parties."""
+
+    sender: int
+    recipient: int
+    kind: MessageKind
+    size_bytes: int
+    round_index: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+
+    @property
+    def is_device_to_device(self) -> bool:
+        """True when neither endpoint is the server."""
+        return self.sender != SERVER_ID and self.recipient != SERVER_ID
+
+
+@dataclass
+class ComputeEvent:
+    """A unit of simulated local computation on one device."""
+
+    device: int
+    cost: float
+    round_index: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError("compute cost must be non-negative")

@@ -1,0 +1,147 @@
+"""Communication and computation accounting for the federated simulation.
+
+The paper reports two system metrics (Fig. 8): the average number of
+inter-device communication rounds per device per epoch, and the training time
+per epoch.  Neither requires real networking — both are deterministic
+functions of *what* the protocol sends and *how much* each device computes.
+:class:`CommunicationLedger` records every message and compute event so the
+evaluation harness can reproduce those metrics, and the straggler model of
+:meth:`CommunicationLedger.epoch_completion_time` captures why workload
+imbalance slows the synchronous system down (the epoch ends only when the
+slowest device finishes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .events import SERVER_ID, ComputeEvent, Message, MessageKind
+
+
+@dataclass
+class CommunicationLedger:
+    """Append-only log of messages and compute events with summary queries."""
+
+    messages: List[Message] = field(default_factory=list)
+    compute_events: List[ComputeEvent] = field(default_factory=list)
+    current_round: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        kind: MessageKind,
+        size_bytes: int,
+        description: str = "",
+    ) -> Message:
+        """Record a directed message in the current round."""
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            size_bytes=int(size_bytes),
+            round_index=self.current_round,
+            description=description,
+        )
+        self.messages.append(message)
+        return message
+
+    def compute(self, device: int, cost: float, description: str = "") -> ComputeEvent:
+        """Record ``cost`` units of local computation on ``device``."""
+        event = ComputeEvent(
+            device=device, cost=float(cost), round_index=self.current_round, description=description
+        )
+        self.compute_events.append(event)
+        return event
+
+    def next_round(self) -> int:
+        """Advance the synchronous round counter."""
+        self.current_round += 1
+        return self.current_round
+
+    def reset(self) -> None:
+        """Clear all recorded events."""
+        self.messages.clear()
+        self.compute_events.clear()
+        self.current_round = 0
+
+    # ------------------------------------------------------------------ #
+    # Summaries
+    # ------------------------------------------------------------------ #
+    def total_messages(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
+        """Number of messages, optionally restricted to some kinds."""
+        if kinds is None:
+            return len(self.messages)
+        wanted = set(kinds)
+        return sum(1 for message in self.messages if message.kind in wanted)
+
+    def total_bytes(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
+        """Bytes transferred, optionally restricted to some kinds."""
+        wanted = set(kinds) if kinds is not None else None
+        return sum(
+            message.size_bytes
+            for message in self.messages
+            if wanted is None or message.kind in wanted
+        )
+
+    def device_to_device_messages(self) -> int:
+        """Messages where neither endpoint is the server."""
+        return sum(1 for message in self.messages if message.is_device_to_device)
+
+    def per_device_message_counts(self, num_devices: int) -> np.ndarray:
+        """Array of message counts charged to each device (as the sender)."""
+        counts = np.zeros(num_devices, dtype=np.int64)
+        for message in self.messages:
+            if message.sender != SERVER_ID and message.sender < num_devices:
+                counts[message.sender] += 1
+        return counts
+
+    def per_device_compute(self, num_devices: int) -> np.ndarray:
+        """Total compute cost charged to each device."""
+        costs = np.zeros(num_devices, dtype=np.float64)
+        for event in self.compute_events:
+            if 0 <= event.device < num_devices:
+                costs[event.device] += event.cost
+        return costs
+
+    def epoch_completion_time(
+        self,
+        num_devices: int,
+        compute_time_per_unit: float = 1.0,
+        communication_latency: float = 0.05,
+    ) -> float:
+        """Simulated wall-clock time of one synchronous epoch.
+
+        The synchronous protocol finishes when the *slowest* device has
+        completed its local computation and sent its messages — this is the
+        straggler effect the tree trimmer mitigates.
+        """
+        compute = self.per_device_compute(num_devices) * compute_time_per_unit
+        message_counts = self.per_device_message_counts(num_devices).astype(np.float64)
+        per_device_time = compute + message_counts * communication_latency
+        return float(per_device_time.max()) if num_devices else 0.0
+
+    def summary(self, num_devices: Optional[int] = None) -> Dict[str, float]:
+        """Return the headline counters as a dictionary."""
+        result: Dict[str, float] = {
+            "total_messages": float(len(self.messages)),
+            "total_bytes": float(self.total_bytes()),
+            "device_to_device_messages": float(self.device_to_device_messages()),
+            "rounds": float(self.current_round),
+            "total_compute": float(sum(event.cost for event in self.compute_events)),
+        }
+        if num_devices:
+            result["avg_messages_per_device"] = result["device_to_device_messages"] / num_devices
+        by_kind: Dict[str, int] = defaultdict(int)
+        for message in self.messages:
+            by_kind[message.kind.value] += 1
+        for kind, count in by_kind.items():
+            result[f"messages_{kind}"] = float(count)
+        return result

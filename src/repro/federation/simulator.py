@@ -1,0 +1,171 @@
+"""Synchronous federated simulation environment.
+
+:class:`FederatedEnvironment` ties together the devices, the server and the
+communication ledger.  Lumos' tree constructor and GNN trainer operate on an
+environment instance rather than on raw graphs, which keeps the privacy
+boundary explicit: any cross-device data movement must go through
+:meth:`FederatedEnvironment.exchange`, which records it.
+
+The environment also owns the simulated clock: per-device compute is charged
+through :meth:`charge_compute`, and an epoch's wall-clock estimate is the
+straggler-aware maximum over devices (see
+:meth:`repro.federation.network.CommunicationLedger.epoch_completion_time`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..graph.ego import EgoNetwork, partition_node_level
+from ..graph.graph import Graph
+from .device import Device, build_devices
+from .events import SERVER_ID, MessageKind
+from .network import CommunicationLedger
+from .server import Server
+
+
+@dataclass
+class FederatedEnvironment:
+    """All parties of one federated deployment plus shared accounting."""
+
+    devices: Dict[int, Device]
+    server: Server
+    ledger: CommunicationLedger
+    rng: np.random.Generator
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: Graph, seed: int = 0) -> "FederatedEnvironment":
+        """Split ``graph`` node-level and instantiate one device per vertex."""
+        partition = partition_node_level(graph)
+        return cls.from_partition(partition, seed=seed)
+
+    @classmethod
+    def from_partition(
+        cls, partition: Dict[int, EgoNetwork], seed: int = 0
+    ) -> "FederatedEnvironment":
+        """Instantiate the environment from an existing ego-network partition."""
+        ledger = CommunicationLedger()
+        rng = np.random.default_rng(seed)
+        server = Server(ledger=ledger, rng=np.random.default_rng(seed + 1))
+        devices = build_devices(partition)
+        return cls(devices=devices, server=server, ledger=ledger, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device_ids(self) -> List[int]:
+        """Sorted list of device ids."""
+        return sorted(self.devices)
+
+    def workloads(self) -> Dict[int, int]:
+        """Current workload of every device (selected-neighbour counts)."""
+        return {device_id: device.workload for device_id, device in self.devices.items()}
+
+    def workload_array(self) -> np.ndarray:
+        """Workloads as an array indexed by device id."""
+        array = np.zeros(self.num_devices, dtype=np.int64)
+        for device_id, device in self.devices.items():
+            array[device_id] = device.workload
+        return array
+
+    def max_workload(self) -> int:
+        """The objective value f(X) = max_u wl(u) of the current assignment."""
+        return int(self.workload_array().max()) if self.devices else 0
+
+    def degrees(self) -> Dict[int, int]:
+        """Private degrees (only used by tests / oracles, never by protocols)."""
+        return {device_id: device.degree for device_id, device in self.devices.items()}
+
+    def directed_edges(self) -> np.ndarray:
+        """Directed ``(2, 2E)`` edge index of the union of all ego networks.
+
+        Cached after the first call; used by the vectorised fast path of the
+        MCMC balancer (the edge structure never changes during balancing).
+        """
+        cached = getattr(self, "_directed_edges_cache", None)
+        if cached is not None:
+            return cached
+        sources: List[int] = []
+        destinations: List[int] = []
+        for device_id, device in self.devices.items():
+            for neighbor in device.ego.neighbors:
+                sources.append(device_id)
+                destinations.append(int(neighbor))
+        edges = np.asarray([sources, destinations], dtype=np.int64).reshape(2, -1)
+        object.__setattr__(self, "_directed_edges_cache", edges)
+        return edges
+
+    # ------------------------------------------------------------------ #
+    # Communication and compute accounting
+    # ------------------------------------------------------------------ #
+    def exchange(
+        self,
+        sender: int,
+        recipient: int,
+        kind: MessageKind,
+        size_bytes: int,
+        description: str = "",
+    ) -> None:
+        """Record a device-to-device (or device-server) message."""
+        if sender != SERVER_ID and sender not in self.devices:
+            raise KeyError(f"unknown sender device {sender}")
+        if recipient != SERVER_ID and recipient not in self.devices:
+            raise KeyError(f"unknown recipient device {recipient}")
+        self.ledger.send(sender, recipient, kind, size_bytes, description)
+
+    def charge_compute(self, device_id: int, cost: float, description: str = "") -> None:
+        """Charge ``cost`` units of computation to ``device_id``."""
+        if device_id not in self.devices:
+            raise KeyError(f"unknown device {device_id}")
+        self.ledger.compute(device_id, cost, description)
+
+    def next_round(self) -> int:
+        """Advance the global synchronous round."""
+        return self.ledger.next_round()
+
+    # ------------------------------------------------------------------ #
+    # Assignment helpers used by the tree constructor
+    # ------------------------------------------------------------------ #
+    def assignment(self) -> Dict[int, List[int]]:
+        """Current neighbour selection ``(N_1, ..., N_|V|)`` per device."""
+        return {
+            device_id: list(device.selected_neighbors)
+            for device_id, device in self.devices.items()
+        }
+
+    def apply_assignment(self, assignment: Dict[int, Iterable[int]]) -> None:
+        """Install a neighbour selection produced by the tree constructor."""
+        for device_id, neighbors in assignment.items():
+            self.devices[device_id].select_neighbors(list(neighbors))
+
+    def validate_edge_coverage(self) -> bool:
+        """Check the constraint of Eq. 10: every edge is kept by >= 1 endpoint."""
+        for device_id, device in self.devices.items():
+            for neighbor in device.ego.neighbors:
+                neighbor = int(neighbor)
+                kept_here = neighbor in device.selected_neighbors
+                kept_there = device_id in self.devices[neighbor].selected_neighbors
+                if not (kept_here or kept_there):
+                    return False
+        return True
+
+    def summary(self) -> Dict[str, float]:
+        """Headline counters of the environment."""
+        workloads = self.workload_array()
+        result = {
+            "num_devices": float(self.num_devices),
+            "max_workload": float(workloads.max()) if self.num_devices else 0.0,
+            "mean_workload": float(workloads.mean()) if self.num_devices else 0.0,
+        }
+        result.update(self.ledger.summary(self.num_devices))
+        return result

@@ -1,0 +1,63 @@
+"""Graph Convolutional Network layer (Kipf & Welling, ICLR 2017).
+
+The layer computes ``H' = Â H W + b`` with ``Â = D^-1/2 (A + I) D^-1/2``.
+The normalised adjacency is supplied by the caller as a constant scipy sparse
+matrix so that the same layer works on the global graph (centralized
+baseline), on the per-device trees of Lumos, and on the block-diagonal union
+of all trees used for efficient simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn import functional as F
+from ..nn import init
+from ..nn.module import Module, Parameter
+from ..nn.tensor import Tensor
+
+
+class GCNLayer(Module):
+    """One graph convolution: ``propagate(adjacency, X) @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("GCNLayer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        """Apply the convolution.
+
+        Parameters
+        ----------
+        features:
+            Node feature tensor of shape ``(N, in_features)``.
+        adjacency:
+            Pre-normalised propagation matrix of shape ``(N, N)``.
+        """
+        if adjacency.shape[0] != features.data.shape[0]:
+            raise ValueError(
+                f"adjacency has {adjacency.shape[0]} rows but features have "
+                f"{features.data.shape[0]} rows"
+            )
+        support = features @ self.weight
+        out = F.sparse_matmul(adjacency, support)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"GCNLayer(in={self.in_features}, out={self.out_features})"

@@ -1,0 +1,62 @@
+"""Pooling functions used by the cross-device POOL layer (paper Eq. 31)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+def mean_pool(embeddings: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average the rows of ``embeddings`` that share a segment id.
+
+    This is the pooling function the paper uses: "We use an average pooling
+    function in the experiment" — the rows are leaf embeddings coming from
+    different devices' trees and the segments are global vertex ids.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    sums = F.scatter_add(embeddings, segment_ids, num_segments)
+    counts = np.zeros(num_segments, dtype=np.float64)
+    np.add.at(counts, segment_ids, 1.0)
+    counts = np.maximum(counts, 1.0).reshape(-1, *([1] * (embeddings.data.ndim - 1)))
+    return sums / Tensor(counts)
+
+
+def sum_pool(embeddings: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum the rows of ``embeddings`` that share a segment id."""
+    return F.scatter_add(embeddings, np.asarray(segment_ids, dtype=np.int64), num_segments)
+
+
+def max_pool(embeddings: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Element-wise maximum per segment (no gradient through ties beyond argmax)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    data = embeddings.data
+    out = np.full((num_segments,) + data.shape[1:], -np.inf)
+    np.maximum.at(out, segment_ids, data)
+    out = np.where(np.isfinite(out), out, 0.0)
+    argmax_mask = (data == out[segment_ids]).astype(np.float64)
+
+    def backward(grad: np.ndarray) -> None:
+        embeddings._accumulate(argmax_mask * np.asarray(grad)[segment_ids])
+
+    return Tensor._make(out, (embeddings,), backward)
+
+
+POOLING_FUNCTIONS: Dict[str, Callable[[Tensor, np.ndarray, int], Tensor]] = {
+    "mean": mean_pool,
+    "sum": sum_pool,
+    "max": max_pool,
+}
+
+
+def get_pooling(name: str) -> Callable[[Tensor, np.ndarray, int], Tensor]:
+    """Look up a pooling function by name."""
+    try:
+        return POOLING_FUNCTIONS[name]
+    except KeyError as error:
+        raise KeyError(
+            f"unknown pooling '{name}'; available: {sorted(POOLING_FUNCTIONS)}"
+        ) from error

@@ -1,0 +1,167 @@
+"""Functional building blocks for graph neural networks.
+
+These functions complement :class:`repro.nn.tensor.Tensor` with the graph-
+specific primitives GCN and GAT need: multiplication by a *constant* sparse
+matrix (the normalised adjacency), row gathering / scatter-add for edge-wise
+computation, segment softmax for attention coefficients and the usual
+classification heads (softmax / log-softmax) plus dropout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, _as_array
+
+
+def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
+    """Multiply a constant sparse matrix by a dense tensor: ``matrix @ tensor``.
+
+    The sparse matrix is treated as a constant (no gradient is computed for
+    it); the gradient w.r.t. ``tensor`` is ``matrix.T @ grad``.  This is the
+    workhorse of GCN message passing where ``matrix`` is the symmetrically
+    normalised adjacency.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy sparse matrix")
+    csr = matrix.tocsr()
+    out_data = csr @ tensor.data
+    transposed = csr.T.tocsr()
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(transposed @ _as_array(grad))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``tensor[index]`` with duplicate-aware gradients."""
+    index = np.asarray(index, dtype=np.int64)
+    out_data = tensor.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        np.add.at(full, index, _as_array(grad))
+        tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def scatter_add(tensor: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``tensor`` into ``num_segments`` buckets given by ``index``.
+
+    ``out[k] = sum_{i : index[i] == k} tensor[i]``.  The gradient of a bucket
+    flows back equally (as a copy) to every row that contributed to it.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    out_shape = (num_segments,) + tensor.data.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, index, tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(_as_array(grad)[index])
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def segment_softmax(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``values`` normalised within each segment.
+
+    Used by GAT to normalise attention logits over the incoming edges of each
+    destination node.  ``values`` may be of shape ``(E,)`` or ``(E, H)`` for
+    multi-head attention; segments are defined along the first axis.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    # Subtract the per-segment max for numerical stability.  The max is a
+    # constant shift within each segment: its gradient contribution cancels
+    # exactly in the softmax, so treating it as a constant is correct.
+    if values.data.ndim == 1:
+        seg_max = np.full(num_segments, -np.inf)
+        np.maximum.at(seg_max, segment_ids, values.data)
+    else:
+        seg_max = np.full((num_segments,) + values.data.shape[1:], -np.inf)
+        np.maximum.at(seg_max, segment_ids, values.data)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+
+    shifted = values - Tensor(seg_max[segment_ids])
+    exp_values = shifted.exp()
+    denom = scatter_add(exp_values, segment_ids, num_segments)
+    denom_per_edge = gather(denom, segment_ids)
+    return exp_values / (denom_per_edge + 1e-16)
+
+
+def gather_rows_columns(tensor: Tensor, column_index: np.ndarray) -> Tensor:
+    """Pick one entry per row: ``out[i] = tensor[i, column_index[i]]``.
+
+    Used by the cross-entropy loss to select the log-probability of the
+    target class of each node.
+    """
+    column_index = np.asarray(column_index, dtype=np.int64)
+    rows = np.arange(tensor.data.shape[0])
+    out_data = tensor.data[rows, column_index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(tensor.data)
+        np.add.at(full, (rows, column_index), _as_array(grad))
+        tensor._accumulate(full)
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = tensor - Tensor(tensor.data.max(axis=axis, keepdims=True))
+    exp_values = shifted.exp()
+    return exp_values / exp_values.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = tensor - Tensor(tensor.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(
+    tensor: Tensor,
+    probability: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero entries with ``probability`` and rescale.
+
+    A no-op when ``training`` is false or ``probability`` is zero.
+    """
+    if not training or probability <= 0.0:
+        return tensor
+    if not 0.0 <= probability < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {probability}")
+    rng = rng if rng is not None else np.random.default_rng()
+    keep_probability = 1.0 - probability
+    mask = (rng.random(tensor.data.shape) < keep_probability) / keep_probability
+    return tensor * Tensor(mask)
+
+
+def linear(tensor: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``tensor @ weight + bias``."""
+    out = tensor @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def embedding_mean(tensor: Tensor, index_groups: Union[np.ndarray, list]) -> Tensor:
+    """Average rows of ``tensor`` grouped by ``index_groups``.
+
+    Convenience wrapper over :func:`scatter_add` used by the POOL layer: the
+    groups are given as an integer segment id per row.
+    """
+    index_groups = np.asarray(index_groups, dtype=np.int64)
+    num_segments = int(index_groups.max()) + 1 if index_groups.size else 0
+    sums = scatter_add(tensor, index_groups, num_segments)
+    counts = np.zeros(num_segments, dtype=np.float64)
+    np.add.at(counts, index_groups, 1.0)
+    counts = np.maximum(counts, 1.0).reshape(-1, *([1] * (tensor.data.ndim - 1)))
+    return sums / Tensor(counts)

@@ -1,0 +1,125 @@
+"""Generic (non graph-specific) neural network layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.linear(inputs, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Inverted dropout layer; active only in training mode."""
+
+    def __init__(self, probability: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {probability}")
+        self.probability = probability
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.dropout(inputs, self.probability, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.probability})"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class LeakyReLU(Module):
+    """Leaky rectified linear unit."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.leaky_relu(self.negative_slope)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class MLP(Module):
+    """Multi-layer perceptron used as a READ-out / decoder head.
+
+    The paper's decoder for vertex tasks is "single or multi-layer
+    perceptrons" (Eq. 3); this class covers both.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_layers: int = 2,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("MLP needs at least one layer")
+        self.num_layers = num_layers
+        dims = (
+            [in_features]
+            + [hidden_features] * (num_layers - 1)
+            + [out_features]
+        )
+        for index in range(num_layers):
+            self.add_module(f"linear_{index}", Linear(dims[index], dims[index + 1], rng=rng))
+            if index < num_layers - 1:
+                self.add_module(f"act_{index}", ReLU())
+                if dropout > 0:
+                    self.add_module(f"drop_{index}", Dropout(dropout, rng=rng))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for module in self._modules.values():
+            out = module(out)
+        return out

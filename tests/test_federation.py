@@ -1,0 +1,194 @@
+"""Tests for the federated runtime: devices, server, ledger, environment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federation import (
+    SERVER_ID,
+    CommunicationLedger,
+    Device,
+    FederatedEnvironment,
+    Message,
+    MessageKind,
+    Server,
+    build_devices,
+)
+from repro.graph import partition_node_level
+
+
+class TestMessagesAndLedger:
+    def test_message_validation(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, recipient=1, kind=MessageKind.OTHER, size_bytes=-1, round_index=0)
+
+    def test_is_device_to_device(self):
+        device_msg = Message(0, 1, MessageKind.FEATURE_EXCHANGE, 10, 0)
+        server_msg = Message(0, SERVER_ID, MessageKind.SERVER_COORDINATION, 10, 0)
+        assert device_msg.is_device_to_device
+        assert not server_msg.is_device_to_device
+
+    def test_ledger_counts(self):
+        ledger = CommunicationLedger()
+        ledger.send(0, 1, MessageKind.FEATURE_EXCHANGE, 100)
+        ledger.send(1, SERVER_ID, MessageKind.SERVER_COORDINATION, 10)
+        ledger.compute(0, 2.5)
+        assert ledger.total_messages() == 2
+        assert ledger.total_messages([MessageKind.FEATURE_EXCHANGE]) == 1
+        assert ledger.total_bytes() == 110
+        assert ledger.device_to_device_messages() == 1
+
+    def test_per_device_counters(self):
+        ledger = CommunicationLedger()
+        ledger.send(0, 1, MessageKind.EMBEDDING_EXCHANGE, 8)
+        ledger.send(0, 2, MessageKind.EMBEDDING_EXCHANGE, 8)
+        ledger.send(2, 0, MessageKind.EMBEDDING_EXCHANGE, 8)
+        counts = ledger.per_device_message_counts(3)
+        np.testing.assert_array_equal(counts, [2, 0, 1])
+        ledger.compute(1, 4.0)
+        np.testing.assert_allclose(ledger.per_device_compute(3), [0, 4.0, 0])
+
+    def test_epoch_completion_time_is_straggler_bound(self):
+        ledger = CommunicationLedger()
+        ledger.compute(0, 1.0)
+        ledger.compute(1, 10.0)
+        time = ledger.epoch_completion_time(2, compute_time_per_unit=1.0, communication_latency=0.0)
+        assert time == pytest.approx(10.0)
+
+    def test_rounds_and_reset(self):
+        ledger = CommunicationLedger()
+        assert ledger.next_round() == 1
+        ledger.send(0, 1, MessageKind.OTHER, 1)
+        ledger.reset()
+        assert ledger.total_messages() == 0
+        assert ledger.current_round == 0
+
+    def test_summary_contains_kind_breakdown(self):
+        ledger = CommunicationLedger()
+        ledger.send(0, 1, MessageKind.FEATURE_EXCHANGE, 5)
+        summary = ledger.summary(num_devices=2)
+        assert summary["messages_feature_exchange"] == 1
+        assert "avg_messages_per_device" in summary
+
+    def test_compute_event_validation(self):
+        ledger = CommunicationLedger()
+        with pytest.raises(ValueError):
+            ledger.compute(0, -1.0)
+
+
+class TestDevice:
+    def test_build_devices(self, small_graph):
+        partition = partition_node_level(small_graph)
+        devices = build_devices(partition)
+        assert len(devices) == small_graph.num_nodes
+        assert devices[0].device_id == 0
+        assert devices[0].degree == small_graph.degree(0)
+
+    def test_neighbor_selection_rules(self, small_graph):
+        partition = partition_node_level(small_graph)
+        device = Device(ego=partition[0])
+        device.select_all_neighbors()
+        assert device.workload == device.degree
+        first_neighbor = int(partition[0].neighbors[0])
+        device.select_neighbors([first_neighbor])
+        assert device.selected_neighbors == [first_neighbor]
+        with pytest.raises(ValueError):
+            device.select_neighbors([10_000])
+
+    def test_add_remove_selected_neighbor(self, small_graph):
+        partition = partition_node_level(small_graph)
+        device = Device(ego=partition[0])
+        neighbor = int(partition[0].neighbors[0])
+        device.add_selected_neighbor(neighbor)
+        device.add_selected_neighbor(neighbor)  # idempotent
+        assert device.workload == 1
+        device.remove_selected_neighbor(neighbor)
+        assert device.workload == 0
+        with pytest.raises(ValueError):
+            device.add_selected_neighbor(99_999)
+
+    def test_training_state_reset(self, small_graph):
+        partition = partition_node_level(small_graph)
+        device = Device(ego=partition[0])
+        device.store_received_feature(3, np.ones(4))
+        device.store_received_embedding(3, np.ones(2))
+        device.vertex_embedding = np.ones(2)
+        device.reset_training_state()
+        assert not device.received_features and not device.received_embeddings
+        assert device.vertex_embedding is None
+
+
+class TestServer:
+    def test_candidate_collection_and_selection(self):
+        server = Server(rng=np.random.default_rng(0))
+        server.receive_candidate(3, True)
+        server.receive_candidate(4, False)
+        server.receive_candidate(5, True)
+        assert server.candidate_vertex_set() == [3, 5]
+        assert server.select_maximum([5]) == 5
+        server.reset_candidates()
+        assert server.candidate_vertex_set() == []
+
+    def test_select_maximum_tie_break_is_among_winners(self):
+        server = Server(rng=np.random.default_rng(0))
+        winner = server.select_maximum([2, 7])
+        assert winner in (2, 7)
+        with pytest.raises(ValueError):
+            server.select_maximum([])
+
+    def test_broadcast_records_messages(self):
+        server = Server()
+        server.broadcast([0, 1, 2], size_bytes=16)
+        assert server.ledger.total_messages() == 3
+        assert server.ledger.total_bytes() == 48
+
+
+class TestFederatedEnvironment:
+    def test_from_graph_builds_one_device_per_vertex(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        assert environment.num_devices == small_graph.num_nodes
+        assert environment.device_ids() == list(range(small_graph.num_nodes))
+        assert environment.degrees()[0] == small_graph.degree(0)
+
+    def test_workload_tracking(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        assert environment.max_workload() == 0
+        environment.devices[0].select_all_neighbors()
+        assert environment.max_workload() == small_graph.degree(0)
+        assert environment.workloads()[0] == small_graph.degree(0)
+
+    def test_exchange_validates_endpoints(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        environment.exchange(0, 1, MessageKind.FEATURE_EXCHANGE, 10)
+        with pytest.raises(KeyError):
+            environment.exchange(0, 10_000, MessageKind.FEATURE_EXCHANGE, 10)
+        with pytest.raises(KeyError):
+            environment.charge_compute(10_000, 1.0)
+
+    def test_assignment_roundtrip_and_coverage(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        full = {
+            device_id: [int(v) for v in device.ego.neighbors]
+            for device_id, device in environment.devices.items()
+        }
+        environment.apply_assignment(full)
+        assert environment.validate_edge_coverage()
+        assert environment.assignment() == {k: sorted(v) for k, v in full.items()}
+        # Dropping an edge from both sides breaks coverage.
+        u, v = int(small_graph.edges[0, 0]), int(small_graph.edges[0, 1])
+        broken = {k: [n for n in vs if not (k == u and n == v) and not (k == v and n == u)]
+                  for k, vs in full.items()}
+        environment.apply_assignment(broken)
+        assert not environment.validate_edge_coverage()
+
+    def test_directed_edges_cached_and_complete(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        edges = environment.directed_edges()
+        assert edges.shape == (2, 2 * small_graph.num_edges)
+        assert environment.directed_edges() is edges
+
+    def test_summary_keys(self, small_graph):
+        environment = FederatedEnvironment.from_graph(small_graph, seed=0)
+        summary = environment.summary()
+        assert {"num_devices", "max_workload", "total_messages"} <= set(summary)

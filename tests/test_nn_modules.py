@@ -1,0 +1,287 @@
+"""Tests for Module/Parameter, layers, optimizers and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    link_prediction_loss,
+    mse_loss,
+    nll_loss,
+)
+from repro.nn import functional as F
+from repro.nn import init
+
+
+class TestModuleInfrastructure:
+    def test_parameters_are_registered(self):
+        layer = Linear(3, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+        assert all(isinstance(p, Parameter) for p in layer.parameters())
+
+    def test_nested_module_parameters(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        assert len(model.parameters()) == 4
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        model = MLP(4, 8, 2, num_layers=2)
+        state = model.state_dict()
+        for parameter in model.parameters():
+            parameter.data = parameter.data + 1.0
+        model.load_state_dict(state)
+        for name, parameter in model.named_parameters():
+            np.testing.assert_allclose(parameter.data, state[name])
+
+    def test_load_state_dict_rejects_unknown_keys(self):
+        model = Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"nope": np.zeros((2, 2))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = Linear(2, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 1)
+        out = layer(Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLayers:
+    def test_linear_shapes_and_validation(self):
+        layer = Linear(4, 3)
+        assert layer(Tensor(np.ones((5, 4)))).shape == (5, 3)
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_linear_no_bias(self):
+        layer = Linear(2, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_activation_layers(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        np.testing.assert_allclose(ReLU()(x).data, [0.0, 2.0])
+        np.testing.assert_allclose(LeakyReLU(0.5)(x).data, [-0.5, 2.0])
+        assert 0 < Sigmoid()(x).data[0] < 0.5
+        assert -1 < Tanh()(x).data[0] < 0
+
+    def test_dropout_layer_respects_training_flag(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+        layer.train()
+        assert (layer(x).data == 0).any()
+
+    def test_dropout_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_mlp_depth(self):
+        mlp = MLP(4, 8, 3, num_layers=3)
+        out = mlp(Tensor(np.ones((2, 4))))
+        assert out.shape == (2, 3)
+        with pytest.raises(ValueError):
+            MLP(4, 8, 3, num_layers=0)
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weight = init.xavier_uniform((100, 50), rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(weight).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        weight = init.xavier_normal((2000, 100), rng=rng)
+        expected_std = np.sqrt(2.0 / 2100)
+        assert abs(weight.std() - expected_std) < 0.05 * expected_std
+
+    def test_kaiming_uniform_scale_shrinks_with_fan_in(self):
+        rng = np.random.default_rng(0)
+        small = np.abs(init.kaiming_uniform((10, 10), rng=rng)).max()
+        large = np.abs(init.kaiming_uniform((1000, 10), rng=rng)).max()
+        assert large < small
+
+    def test_zeros(self):
+        np.testing.assert_allclose(init.zeros((3,)), np.zeros(3))
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = Parameter(np.zeros(3))
+        return parameter, target
+
+    def test_sgd_converges_on_quadratic(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = SGD([parameter], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.full(4, 10.0))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            loss = (parameter * 0.0).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.all(np.abs(parameter.data) < 10.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = Adam([parameter], lr=0.1)
+        optimizer.step()  # no gradient yet: should be a no-op, not an error
+        np.testing.assert_allclose(parameter.data, np.ones(2))
+
+    def test_optimizer_validation(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.5, 0.9))
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_cross_entropy_mask_restricts_rows(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        # Second row is wrong, but masked out.
+        loss = cross_entropy(logits, np.array([0, 0]), mask=np.array([True, False]))
+        assert loss.item() < 1e-4
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((3, 2))), np.array([0]))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 2)), requires_grad=True)
+        cross_entropy(logits, np.array([0])).backward()
+        # Increasing the correct logit should decrease the loss.
+        assert logits.grad[0, 0] < 0 < logits.grad[0, 1]
+
+    def test_nll_loss_matches_cross_entropy(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 3))
+        targets = np.array([0, 1, 2, 1, 0])
+        ce = cross_entropy(Tensor(logits), targets).item()
+        nll = nll_loss(F.log_softmax(Tensor(logits)), targets).item()
+        assert ce == pytest.approx(nll, rel=1e-9)
+
+    def test_bce_with_logits_matches_formula(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets).item()
+        probabilities = 1 / (1 + np.exp(-logits))
+        expected = -(targets * np.log(probabilities) + (1 - targets) * np.log(1 - probabilities)).mean()
+        assert loss == pytest.approx(expected, rel=1e-6)
+
+    def test_bce_stable_for_extreme_logits(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor(np.array([1000.0, -1000.0])), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_link_prediction_loss_prefers_aligned_pairs(self):
+        source = Tensor(np.array([[1.0, 0.0]]))
+        aligned = Tensor(np.array([[1.0, 0.0]]))
+        opposed = Tensor(np.array([[-1.0, 0.0]]))
+        good = link_prediction_loss(source, aligned, opposed).item()
+        bad = link_prediction_loss(source, opposed, aligned).item()
+        assert good < bad
+
+    def test_mse_loss(self):
+        loss = mse_loss(Tensor(np.array([1.0, 2.0])), np.array([1.0, 4.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    @given(st.integers(2, 6), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_cross_entropy_is_nonnegative(self, rows, classes):
+        rng = np.random.default_rng(rows * 7 + classes)
+        logits = Tensor(rng.normal(size=(rows, classes)))
+        targets = rng.integers(classes, size=rows)
+        assert cross_entropy(logits, targets).item() >= 0.0

@@ -1,0 +1,325 @@
+"""Unit and property-based tests for the autograd Tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.tensor import Tensor, as_tensor, concat, no_grad, ones, stack, zeros
+
+
+def numerical_gradient(function, value: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar-valued function."""
+    gradient = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(value.copy())
+        flat[index] = original - epsilon
+        lower = function(value.copy())
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=4),
+    elements=st.floats(-3, 3, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        tensor = Tensor([1.0, 2.0, 3.0])
+        assert tensor.shape == (3,)
+        assert tensor.data.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        assert tensor.requires_grad
+        assert Tensor([1.0]).requires_grad is False
+
+    def test_detach_breaks_graph(self):
+        tensor = Tensor([2.0], requires_grad=True)
+        detached = tensor.detach()
+        assert not detached.requires_grad
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_item_on_scalar(self):
+        assert Tensor([3.5]).item() == pytest.approx(3.5)
+
+    def test_zero_grad_clears_gradient(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        (tensor.sum()).backward()
+        assert tensor.grad is not None
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_len_and_size(self):
+        tensor = Tensor(np.zeros((4, 2)))
+        assert len(tensor) == 4
+        assert tensor.size == 8
+        assert tensor.ndim == 2
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            tensor.backward()
+
+    def test_factories(self):
+        assert np.all(zeros((2, 2)).data == 0)
+        assert np.all(ones(3).data == 1)
+        assert as_tensor([1.0]).shape == (1,)
+        existing = Tensor([1.0])
+        assert as_tensor(existing) is existing
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_add_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (a + 5.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose((5.0 + Tensor([1.0])).data, [6.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([4.0, 5.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0, 5.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([7.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+        c = Tensor([3.0], requires_grad=True)
+        (-c).sum().backward()
+        np.testing.assert_allclose(c.grad, [-1.0])
+        np.testing.assert_allclose((1.0 - Tensor([0.25])).data, [0.75])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+        np.testing.assert_allclose((1.0 / Tensor([4.0])).data, [0.25])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+        with pytest.raises(TypeError):
+            _ = a ** Tensor([2.0])
+
+    def test_matmul_backward(self):
+        a = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]), requires_grad=True)
+        b = Tensor(np.array([[5.0, 6.0], [7.0, 8.0]]), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((2, 2)))
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        bias = Tensor(np.zeros(2), requires_grad=True)
+        (a + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [3.0, 3.0])
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)))
+
+    def test_broadcast_mul_row_vector(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(3, 2), requires_grad=True)
+        scale = Tensor(np.array([[2.0, 3.0]]), requires_grad=True)
+        (a * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, [[0 + 2 + 4, 1 + 3 + 5]])
+
+    def test_gradient_accumulates_across_uses(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = (a * 2.0).sum() + (a * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestShapesAndReductions:
+    def test_reshape_backward(self):
+        a = Tensor(np.arange(6, dtype=float), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_backward(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        (a.T * Tensor(np.arange(6, dtype=float).reshape(3, 2))).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_backward_accumulates_duplicates(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (2, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaling(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        a.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 1 / 3))
+
+    def test_max_reduction_gradient(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        a = Tensor(np.array([[1.0, 2.0], [5.0, 0.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        np.testing.assert_allclose(out.data, [2.0, 5.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [1, 0]])
+
+    def test_stack_and_concat(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        stacked = stack([a, b], axis=0)
+        assert stacked.shape == (2, 2)
+        stacked.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        a.zero_grad(), b.zero_grad()
+        joined = concat([a, b], axis=0)
+        assert joined.shape == (4,)
+        (joined * Tensor([1.0, 2.0, 3.0, 4.0])).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 2.0])
+        np.testing.assert_allclose(b.grad, [3.0, 4.0])
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "name",
+        ["relu", "sigmoid", "tanh", "exp"],
+    )
+    def test_elementwise_gradients_match_numerical(self, name):
+        rng = np.random.default_rng(0)
+        value = rng.normal(size=(3, 2))
+        tensor = Tensor(value.copy(), requires_grad=True)
+        getattr(tensor, name)().sum().backward()
+
+        def scalar_function(x):
+            t = Tensor(x)
+            return getattr(t, name)().sum().item()
+
+        expected = numerical_gradient(scalar_function, value.copy())
+        np.testing.assert_allclose(tensor.grad, expected, atol=1e-4)
+
+    def test_log_gradient(self):
+        value = np.array([0.5, 1.5, 2.5])
+        tensor = Tensor(value.copy(), requires_grad=True)
+        tensor.log().sum().backward()
+        np.testing.assert_allclose(tensor.grad, 1.0 / value)
+
+    def test_leaky_relu(self):
+        tensor = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        out = tensor.leaky_relu(0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.1, 1.0])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        tensor = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        tensor.clip(0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_saturation_is_finite(self):
+        tensor = Tensor(np.array([-1000.0, 1000.0]))
+        out = tensor.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = tensor * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        tensor = Tensor([1.0], requires_grad=True)
+        assert (tensor * 1.0).requires_grad
+
+
+class TestPropertyBased:
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_matches_numpy(self, array):
+        assert Tensor(array).sum().item() == pytest.approx(array.sum(), rel=1e-9, abs=1e-9)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_add_is_commutative(self, array):
+        a = Tensor(array)
+        b = Tensor(array * 0.5 + 1.0)
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_relu_is_idempotent(self, array):
+        once = Tensor(array).relu().data
+        twice = Tensor(once).relu().data
+        np.testing.assert_allclose(once, twice)
+
+    @given(small_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_all_ones(self, array):
+        tensor = Tensor(array, requires_grad=True)
+        tensor.sum().backward()
+        np.testing.assert_allclose(tensor.grad, np.ones_like(array))
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(-2, 2, allow_nan=False),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_gradient_matches_numerical(self, array):
+        weight = np.linspace(-1, 1, array.shape[1] * 2).reshape(array.shape[1], 2)
+        tensor = Tensor(array.copy(), requires_grad=True)
+        (tensor @ Tensor(weight)).sum().backward()
+
+        def scalar_function(x):
+            return (Tensor(x) @ Tensor(weight)).sum().item()
+
+        expected = numerical_gradient(scalar_function, array.copy())
+        np.testing.assert_allclose(tensor.grad, expected, atol=1e-4)
