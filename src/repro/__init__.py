@@ -17,6 +17,9 @@ Top-level subpackages
 ``repro.core``
     Lumos itself: heterogeneity-aware tree constructor and tree-based GNN
     trainer.
+``repro.engine``
+    Staged execution pipeline with a content-keyed artifact store (stage
+    reuse across sweeps and repeated runs).
 ``repro.baselines``
     Centralized GNN, LPGNN, and the naive federated GNN baseline.
 ``repro.eval``
@@ -32,6 +35,7 @@ __all__ = [
     "crypto",
     "federation",
     "core",
+    "engine",
     "baselines",
     "eval",
 ]

@@ -40,6 +40,11 @@ class TreeConstructionResult:
     transcript: TranscriptAccountant = field(default_factory=TranscriptAccountant)
     used_virtual_nodes: bool = True
     used_tree_trimming: bool = True
+    # True when local_graphs follow the canonical build_tree / build_star
+    # layout over the *sorted* selected-neighbour lists (set by
+    # TreeConstructor).  Hand-assembled results leave it False, which routes
+    # TreeBatch.build to the generic per-node path.
+    canonical_layout: bool = False
 
     def workload_array(self) -> np.ndarray:
         """Per-device workloads of the final assignment."""
@@ -122,4 +127,5 @@ class TreeConstructor:
             transcript=transcript,
             used_virtual_nodes=self.config.use_virtual_nodes,
             used_tree_trimming=self.config.use_tree_trimming,
+            canonical_layout=True,
         )

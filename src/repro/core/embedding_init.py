@@ -38,10 +38,34 @@ class EmbeddingInitializationResult:
     messages_sent: int = 0
     bytes_sent: int = 0
     epsilon: float = 0.0
+    # Flat (receiver, sender, feature-row) arrays over all exchanged messages;
+    # the vectorised TreeBatch assembly consumes these instead of the nested
+    # dictionaries.  Built lazily by :meth:`packed` when absent.
+    packed_receivers: Optional[np.ndarray] = None
+    packed_senders: Optional[np.ndarray] = None
+    packed_features: Optional[np.ndarray] = None
 
     def feature_for(self, receiver: int, sender: int) -> np.ndarray:
         """Recovered feature of ``sender`` as seen by ``receiver``."""
         return self.received_features[receiver][sender]
+
+    def packed(self) -> tuple:
+        """``(receivers, senders, features)`` arrays over all messages."""
+        if self.packed_receivers is None:
+            receivers: List[int] = []
+            senders: List[int] = []
+            rows: List[np.ndarray] = []
+            for receiver, per_sender in self.received_features.items():
+                for sender, feature in per_sender.items():
+                    receivers.append(int(receiver))
+                    senders.append(int(sender))
+                    rows.append(np.asarray(feature, dtype=np.float64))
+            self.packed_receivers = np.asarray(receivers, dtype=np.int64)
+            self.packed_senders = np.asarray(senders, dtype=np.int64)
+            self.packed_features = (
+                np.stack(rows) if rows else np.zeros((0, 0), dtype=np.float64)
+            )
+        return self.packed_receivers, self.packed_senders, self.packed_features
 
 
 class LDPEmbeddingInitializer:
@@ -84,6 +108,10 @@ class LDPEmbeddingInitializer:
             for sender in selected:
                 requesters[int(sender)].append(int(receiver))
 
+        packed_receivers: List[np.ndarray] = []
+        packed_senders: List[np.ndarray] = []
+        packed_features: List[np.ndarray] = []
+
         for sender_id, receiver_ids in requesters.items():
             sender_device = environment.devices[sender_id]
             feature = sender_device.ego.feature
@@ -94,25 +122,41 @@ class LDPEmbeddingInitializer:
             workload = max(assignment.workload(sender_id), 1)
             partitioner = FeatureBinPartitioner(dimension, workload, rng=self.rng)
 
-            for rank, receiver_id in enumerate(sorted(receiver_ids)):
-                bin_mask = partitioner.mask_for_bin(rank % workload)
+            receivers_sorted = sorted(receiver_ids)
+            if receivers_sorted:
+                # One encode over all receivers at once.  The batched call
+                # draws the same random numbers in the same (row-major) order
+                # as one encode per receiver, so the released symbols are
+                # bit-for-bit identical to the sequential exchange.
+                ranks = np.arange(len(receivers_sorted)) % workload
+                masks = partitioner.assignment[None, :] == ranks[:, None]
                 encoded = self.mechanism.encode(
-                    feature, workload=workload, dimension=dimension,
-                    selected=bin_mask, rng=self.rng,
+                    np.broadcast_to(feature, (len(receivers_sorted), dimension)),
+                    workload=workload, dimension=dimension,
+                    selected=masks, rng=self.rng,
                 )
-                recovered = self.mechanism.recover(encoded, workload=workload, dimension=dimension)
-                received[receiver_id][sender_id] = recovered
-                environment.devices[receiver_id].store_received_feature(sender_id, recovered)
-
+                recovered = self.mechanism.recover(
+                    encoded, workload=workload, dimension=dimension
+                )
                 # Encoded symbols need 2 bits each ({0, 0.5, 1}); account the
                 # transmission of the full d-dimensional message.
                 size_bytes = max(1, (2 * dimension) // 8)
-                environment.exchange(
-                    sender_id, receiver_id, MessageKind.FEATURE_EXCHANGE, size_bytes,
-                    description="ldp-feature",
+                for row, receiver_id in enumerate(receivers_sorted):
+                    received[receiver_id][sender_id] = recovered[row]
+                    environment.devices[receiver_id].store_received_feature(
+                        sender_id, recovered[row]
+                    )
+                    environment.exchange(
+                        sender_id, receiver_id, MessageKind.FEATURE_EXCHANGE, size_bytes,
+                        description="ldp-feature",
+                    )
+                messages += len(receivers_sorted)
+                total_bytes += size_bytes * len(receivers_sorted)
+                packed_receivers.append(np.asarray(receivers_sorted, dtype=np.int64))
+                packed_senders.append(
+                    np.full(len(receivers_sorted), sender_id, dtype=np.int64)
                 )
-                messages += 1
-                total_bytes += size_bytes
+                packed_features.append(recovered)
             environment.charge_compute(
                 sender_id, cost=0.1 * len(receiver_ids), description="ldp-encoding"
             )
@@ -122,4 +166,19 @@ class LDPEmbeddingInitializer:
             messages_sent=messages,
             bytes_sent=total_bytes,
             epsilon=self.epsilon,
+            packed_receivers=(
+                np.concatenate(packed_receivers)
+                if packed_receivers
+                else np.zeros(0, dtype=np.int64)
+            ),
+            packed_senders=(
+                np.concatenate(packed_senders)
+                if packed_senders
+                else np.zeros(0, dtype=np.int64)
+            ),
+            packed_features=(
+                np.concatenate(packed_features)
+                if packed_features
+                else np.zeros((0, 0), dtype=np.float64)
+            ),
         )

@@ -22,20 +22,38 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from ..crypto.ldp import FeatureBounds
-from ..federation.simulator import FederatedEnvironment
+from ..caching import IdentityCache
+
+from ..engine.pipeline import build_lumos_pipeline
+from ..engine.stages import PipelineContext
+from ..engine.store import ArtifactStore, default_store
 from ..graph.graph import Graph
 from ..graph.splits import EdgeSplit, NodeSplit
 from .config import LumosConfig
-from .constructor import TreeConstructionResult, TreeConstructor
-from .embedding_init import EmbeddingInitializationResult, LDPEmbeddingInitializer
+from .constructor import TreeConstructionResult
+from .embedding_init import EmbeddingInitializationResult
 from .trainer import (
     EpochCostModel,
     LumosModel,
     SupervisedHistory,
     TreeBasedGNNTrainer,
+    TreeBatch,
     UnsupervisedHistory,
 )
+
+
+# Memo of graph -> normalized graph.  Sweeps construct many LumosSystems
+# over one graph; sharing the normalized instance amortizes the
+# normalization *and* lets the engine's per-object graph-fingerprint memo
+# hit across sweep points.
+_normalized_graphs = IdentityCache()
+
+
+def _normalized_graph(graph: Graph) -> Graph:
+    normalized = _normalized_graphs.get(graph)
+    if normalized is None:
+        normalized = _normalized_graphs.put(graph, graph.normalized_features(0.0, 1.0))
+    return normalized
 
 
 @dataclass
@@ -65,51 +83,61 @@ class LumosUnsupervisedResult:
 
 
 class LumosSystem:
-    """End-to-end Lumos deployment over one global graph."""
+    """End-to-end Lumos deployment over one global graph.
+
+    The expensive pipeline phases (node-level partition, tree construction,
+    LDP embedding initialisation, union-graph assembly) run through the
+    staged execution engine (:mod:`repro.engine`): each stage's result is
+    stored in a content-keyed :class:`~repro.engine.store.ArtifactStore` and
+    reused by any later system whose inputs match — e.g. an epsilon sweep
+    re-runs only the LDP exchange onwards, a backbone sweep only the
+    training.  Pass ``store=`` to isolate a system from the process-wide
+    default store.
+    """
 
     def __init__(
         self,
         graph: Graph,
-        config: LumosConfig = LumosConfig(),
-        cost_model: EpochCostModel = EpochCostModel(),
+        config: Optional[LumosConfig] = None,
+        cost_model: Optional[EpochCostModel] = None,
+        store: Optional[ArtifactStore] = None,
     ) -> None:
-        self.graph = graph.normalized_features(0.0, 1.0)
-        self.config = config
-        self.cost_model = cost_model
-        self.rng = np.random.default_rng(config.seed)
+        self.graph = _normalized_graph(graph)
+        self.config = config if config is not None else LumosConfig()
+        self.cost_model = cost_model if cost_model is not None else EpochCostModel()
+        self.rng = np.random.default_rng(self.config.seed)
 
-        self.environment = FederatedEnvironment.from_graph(self.graph, seed=config.seed)
-        self._construction: Optional[TreeConstructionResult] = None
-        self._initialization: Optional[EmbeddingInitializationResult] = None
+        self.store = store if store is not None else default_store()
+        self.pipeline = build_lumos_pipeline(self.store)
+        self._context = PipelineContext(graph=self.graph, config=self.config, rng=self.rng)
+        self.pipeline.run(self._context, through="partition")
+        self.environment = self._context.environment
         self._trainer: Optional[TreeBasedGNNTrainer] = None
 
     # ------------------------------------------------------------------ #
-    # Pipeline stages (lazily executed and cached)
+    # Pipeline stages (lazily executed, cached and shared via the store)
     # ------------------------------------------------------------------ #
+    def _stage(self, name: str):
+        return self.pipeline.run(self._context, through=name).artifacts[name]
+
     def construct_trees(self) -> TreeConstructionResult:
         """Run the heterogeneity-aware tree constructor (cached)."""
-        if self._construction is None:
-            constructor = TreeConstructor(self.config.constructor, rng=self.rng)
-            self._construction = constructor.construct(self.environment)
-        return self._construction
+        return self._stage("construction")
 
     def initialize_embeddings(self) -> EmbeddingInitializationResult:
         """Run the LDP feature exchange (cached)."""
-        if self._initialization is None:
-            construction = self.construct_trees()
-            initializer = LDPEmbeddingInitializer(
-                epsilon=self.config.trainer.epsilon,
-                bounds=FeatureBounds(0.0, 1.0),
-                rng=self.rng,
-            )
-            self._initialization = initializer.run(self.environment, construction.assignment)
-        return self._initialization
+        return self._stage("ldp_init")
+
+    def tree_batch(self) -> TreeBatch:
+        """Assemble (or fetch) the block-diagonal union graph."""
+        return self._stage("tree_batch")
 
     def trainer(self) -> TreeBasedGNNTrainer:
         """Build (and cache) the tree-based GNN trainer."""
         if self._trainer is None:
             construction = self.construct_trees()
             initialization = self.initialize_embeddings()
+            batch = self.tree_batch()
             self._trainer = TreeBasedGNNTrainer(
                 self.environment,
                 construction,
@@ -117,8 +145,13 @@ class LumosSystem:
                 self.config.trainer,
                 rng=self.rng,
                 cost_model=self.cost_model,
+                batch=batch,
             )
         return self._trainer
+
+    def engine_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters of the artifact store backing this system."""
+        return self.store.summary()
 
     # ------------------------------------------------------------------ #
     # End-to-end runs

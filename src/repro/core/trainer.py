@@ -32,6 +32,7 @@ from ..federation.events import MessageKind
 from ..federation.simulator import FederatedEnvironment
 from ..gnn.models import EncoderConfig, GNNEncoder
 from ..gnn.pooling import get_pooling
+from ..nn.backend import get_backend
 from ..graph.sparse import symmetric_normalize
 from ..graph.splits import EdgeSplit, NodeSplit
 from ..nn import functional as F
@@ -51,7 +52,14 @@ from .tree import NodeRole
 # --------------------------------------------------------------------------- #
 @dataclass
 class TreeBatch:
-    """Block-diagonal union of all per-device local graphs."""
+    """Block-diagonal union of all per-device local graphs.
+
+    ``leaf_vertices`` holds, per leaf row, the *position* of the referenced
+    vertex in the sorted device-id order — identical to the global vertex id
+    whenever device ids are the contiguous ``0..n-1`` of a node-level
+    partition, and a dense re-indexing otherwise (so pooling into
+    ``num_vertices`` rows is well-defined for sparse device ids too).
+    """
 
     num_nodes: int
     num_vertices: int
@@ -61,6 +69,24 @@ class TreeBatch:
     leaf_rows: np.ndarray
     leaf_vertices: np.ndarray
     device_slices: Dict[int, Tuple[int, int]]
+    _pool_matrix: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+
+    def mean_pool_matrix(self) -> sp.csr_matrix:
+        """Sparse ``(num_vertices, num_nodes)`` operator computing Eq. 31.
+
+        Row ``v`` holds ``1 / count(v)`` at every leaf row referring to vertex
+        ``v``; multiplying node embeddings by it performs gather + mean-pool
+        in one sparse product (vertices without leaves yield zeros, matching
+        the scatter-based pooling).  Built lazily and cached on the batch.
+        """
+        if self._pool_matrix is None:
+            counts = np.bincount(self.leaf_vertices, minlength=self.num_vertices)
+            weights = 1.0 / np.maximum(counts[self.leaf_vertices], 1).astype(np.float64)
+            self._pool_matrix = sp.csr_matrix(
+                (weights, (self.leaf_vertices, self.leaf_rows)),
+                shape=(self.num_vertices, self.num_nodes),
+            )
+        return self._pool_matrix
 
     @classmethod
     def build(
@@ -75,7 +101,189 @@ class TreeBatch:
         Initial embeddings follow Eq. 25: centre leaves carry the device's own
         raw feature, neighbour leaves carry the LDP-recovered feature received
         from that neighbour, virtual nodes carry zeros.
+
+        Assembly is pure numpy block arithmetic over the canonical tree / star
+        layouts (no per-node python loops); local graphs that do not follow
+        the canonical layout fall back to the generic per-node path.
         """
+        batch = cls._build_vectorized(environment, construction, initialization, feature_dim)
+        if batch is not None:
+            return batch
+        return cls._build_generic(environment, construction, initialization, feature_dim)
+
+    # ------------------------------------------------------------------ #
+    # Fast path: canonical layouts, pure array arithmetic
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _build_vectorized(
+        cls,
+        environment: FederatedEnvironment,
+        construction: TreeConstructionResult,
+        initialization: EmbeddingInitializationResult,
+        feature_dim: int,
+    ) -> Optional["TreeBatch"]:
+        ids_list = environment.device_ids()
+        if not ids_list or not construction.canonical_layout:
+            return None
+        ids = np.asarray(ids_list, dtype=np.int64)
+        n = ids.shape[0]
+        use_vn = construction.used_virtual_nodes
+
+        as_lists = construction.assignment.as_lists()
+        neighbor_lists = [
+            np.asarray(as_lists.get(int(d), ()), dtype=np.int64) for d in ids
+        ]
+        w = np.asarray([block.shape[0] for block in neighbor_lists], dtype=np.int64)
+        sizes = np.where(w == 0, 1, 3 * w + 1) if use_vn else w + 1
+
+        # The canonical layouts are exactly what build_tree / build_star emit
+        # for the (sorted) selected-neighbour lists; a size mismatch means the
+        # local graphs were constructed differently -> use the generic path.
+        for device_id, size in zip(ids_list, sizes):
+            local_graph = construction.local_graphs.get(device_id)
+            if local_graph is None or local_graph.num_nodes != int(size):
+                return None
+
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        num_nodes = int(sizes.sum())
+        total = int(w.sum())
+        flat_neighbors = (
+            np.concatenate(neighbor_lists) if total else np.zeros(0, dtype=np.int64)
+        )
+        # One entry per (device, selected-neighbour) pair, devices in id order.
+        rep = np.repeat(np.arange(n), w)
+        pair_rank = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(w) - w, w)
+        pair_owners = ids[rep]
+
+        if use_vn:
+            base = offsets[rep] + 3 * pair_rank
+            triplets = np.empty((total, 3, 2), dtype=np.int64)
+            triplets[:, 0, 0] = offsets[rep]  # root -> parent
+            triplets[:, 0, 1] = base + 1
+            triplets[:, 1, 0] = base + 1  # parent -> centre leaf
+            triplets[:, 1, 1] = base + 2
+            triplets[:, 2, 0] = base + 1  # parent -> neighbour leaf
+            triplets[:, 2, 1] = base + 3
+            undirected = triplets.reshape(-1, 2)
+            center_rows = base + 2
+            neighbor_rows = base + 3
+            leaf_counts = np.where(w == 0, 1, 2 * w)
+        else:
+            neighbor_rows = offsets[rep] + 1 + pair_rank
+            undirected = np.stack([offsets[rep], neighbor_rows], axis=1)
+            center_rows = None
+            leaf_counts = w + 1
+
+        leaf_offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(leaf_counts[:-1], out=leaf_offsets[1:])
+        num_leaves = int(leaf_counts.sum())
+        leaf_rows = np.empty(num_leaves, dtype=np.int64)
+        leaf_vertices = np.empty(num_leaves, dtype=np.int64)
+        if use_vn:
+            pair_positions = leaf_offsets[rep] + 2 * pair_rank
+            leaf_rows[pair_positions] = center_rows
+            leaf_vertices[pair_positions] = pair_owners
+            leaf_rows[pair_positions + 1] = neighbor_rows
+            leaf_vertices[pair_positions + 1] = flat_neighbors
+            isolated = w == 0
+            leaf_rows[leaf_offsets[isolated]] = offsets[isolated]
+            leaf_vertices[leaf_offsets[isolated]] = ids[isolated]
+        else:
+            leaf_rows[leaf_offsets] = offsets
+            leaf_vertices[leaf_offsets] = ids
+            pair_positions = leaf_offsets[rep] + 1 + pair_rank
+            leaf_rows[pair_positions] = neighbor_rows
+            leaf_vertices[pair_positions] = flat_neighbors
+
+        # --- features: centre rows carry raw features, neighbour rows carry
+        # the LDP-recovered features, virtual rows stay zero (Eq. 25) --------
+        features = np.zeros((num_nodes, feature_dim), dtype=np.float64)
+        own_features = np.stack(
+            [environment.devices[int(d)].ego.feature for d in ids]
+        ).astype(np.float64, copy=False)
+        if use_vn:
+            if total:
+                features[center_rows] = own_features[rep]
+            isolated = w == 0
+            features[offsets[isolated]] = own_features[isolated]
+        else:
+            features[offsets] = own_features
+        if total:
+            features[neighbor_rows] = cls._lookup_received_features(
+                initialization, pair_owners, flat_neighbors, feature_dim
+            )
+
+        # --- adjacency and edge index, preserving the generic edge order ----
+        rows = undirected.ravel()
+        cols = undirected[:, ::-1].ravel()
+        data = np.ones(rows.shape[0], dtype=np.float64)
+        adjacency_raw = sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+        adjacency = symmetric_normalize(adjacency_raw, self_loops=True)
+        src = np.concatenate([cols, np.arange(num_nodes)])
+        dst = np.concatenate([rows, np.arange(num_nodes)])
+        edge_index = np.stack([src, dst])
+
+        device_slices = {
+            int(d): (int(o), int(s)) for d, o, s in zip(ids, offsets, sizes)
+        }
+        return cls(
+            num_nodes=num_nodes,
+            num_vertices=environment.num_devices,
+            adjacency=adjacency,
+            edge_index=edge_index,
+            features=features,
+            leaf_rows=leaf_rows,
+            leaf_vertices=np.searchsorted(ids, leaf_vertices),
+            device_slices=device_slices,
+        )
+
+    @staticmethod
+    def _lookup_received_features(
+        initialization: EmbeddingInitializationResult,
+        receivers: np.ndarray,
+        senders: np.ndarray,
+        feature_dim: int,
+    ) -> np.ndarray:
+        """Recovered feature per ``(receiver, sender)`` pair, vectorised.
+
+        Pairs for which the sender never released its feature (degenerate
+        trimming corner case) fall back to the uninformative midpoint 0.5.
+        """
+        packed = initialization.packed()
+        stored_receivers, stored_senders, stored_features = packed
+        out = np.full((receivers.shape[0], feature_dim), 0.5, dtype=np.float64)
+        if stored_receivers.shape[0] == 0:
+            return out
+        base = int(
+            max(
+                receivers.max(initial=0),
+                senders.max(initial=0),
+                stored_receivers.max(initial=0),
+                stored_senders.max(initial=0),
+            )
+        ) + 1
+        stored_codes = stored_receivers * base + stored_senders
+        order = np.argsort(stored_codes)
+        stored_codes = stored_codes[order]
+        query_codes = receivers * base + senders
+        positions = np.searchsorted(stored_codes, query_codes)
+        positions = np.minimum(positions, stored_codes.shape[0] - 1)
+        matched = stored_codes[positions] == query_codes
+        out[matched] = stored_features[order[positions[matched]]]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Generic path: arbitrary local-graph layouts (per-node traversal)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _build_generic(
+        cls,
+        environment: FederatedEnvironment,
+        construction: TreeConstructionResult,
+        initialization: EmbeddingInitializationResult,
+        feature_dim: int,
+    ) -> "TreeBatch":
         device_slices: Dict[int, Tuple[int, int]] = {}
         rows: List[int] = []
         cols: List[int] = []
@@ -130,6 +338,7 @@ class TreeBatch:
             if feature_blocks
             else np.zeros((0, feature_dim))
         )
+        ids = np.asarray(environment.device_ids(), dtype=np.int64)
         return cls(
             num_nodes=num_nodes,
             num_vertices=environment.num_devices,
@@ -137,7 +346,7 @@ class TreeBatch:
             edge_index=edge_index,
             features=features,
             leaf_rows=np.asarray(leaf_rows, dtype=np.int64),
-            leaf_vertices=np.asarray(leaf_vertices, dtype=np.int64),
+            leaf_vertices=np.searchsorted(ids, np.asarray(leaf_vertices, dtype=np.int64)),
             device_slices=device_slices,
         )
 
@@ -188,6 +397,10 @@ class LumosModel(Module):
     def vertex_embeddings(self, batch: TreeBatch, features: Tensor) -> Tensor:
         """Run message passing on every tree and pool leaves per vertex (Eq. 31)."""
         node_embeddings = self.encoder(features, _BatchGraphInput(batch))
+        if self.pooling is get_pooling("mean") and get_backend().allow_fused:
+            # Gather + mean-pool fused into one sparse product (same maths,
+            # one kernel instead of three).
+            return F.sparse_matmul(batch.mean_pool_matrix(), node_embeddings)
         leaf_embeddings = F.gather(node_embeddings, batch.leaf_rows)
         return self.pooling(leaf_embeddings, batch.leaf_vertices, batch.num_vertices)
 
@@ -264,29 +477,51 @@ class TreeBasedGNNTrainer:
         initialization: EmbeddingInitializationResult,
         config: TrainerConfig,
         rng: Optional[np.random.Generator] = None,
-        cost_model: EpochCostModel = EpochCostModel(),
+        cost_model: Optional[EpochCostModel] = None,
+        batch: Optional[TreeBatch] = None,
     ) -> None:
         self.environment = environment
         self.construction = construction
         self.initialization = initialization
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
-        self.cost_model = cost_model
+        self.cost_model = cost_model if cost_model is not None else EpochCostModel()
 
         sample_feature = next(iter(environment.devices.values())).ego.feature
         self.feature_dim = int(sample_feature.shape[0])
-        self.batch = TreeBatch.build(environment, construction, initialization, self.feature_dim)
+        # A pre-assembled union graph (e.g. the pipeline's cached tree_batch
+        # artifact) can be injected; otherwise it is built here.
+        self.batch = (
+            batch
+            if batch is not None
+            else TreeBatch.build(environment, construction, initialization, self.feature_dim)
+        )
         self._features = Tensor(self.batch.features)
+        # The communication profile, tree sizes and per-epoch ledger charges
+        # are static once the assignment is installed — computed once, reused
+        # every epoch.
+        self._tree_sizes: Optional[np.ndarray] = None
+        self._profile_cache: Dict[str, Dict[str, np.ndarray]] = {}
+        self._epoch_charge_cache: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # System metrics
     # ------------------------------------------------------------------ #
+    def _device_index(self) -> np.ndarray:
+        """Sorted device ids; all per-device arrays are aligned to this order.
+
+        Device ids are *not* assumed to be contiguous ``0..n-1``.
+        """
+        return np.asarray(self.environment.device_ids(), dtype=np.int64)
+
     def tree_sizes(self) -> np.ndarray:
-        """Number of local-graph nodes per device."""
-        sizes = np.zeros(self.environment.num_devices, dtype=np.int64)
-        for device_id, (start, size) in self.batch.device_slices.items():
-            sizes[device_id] = size
-        return sizes
+        """Number of local-graph nodes per device (sorted device-id order)."""
+        if self._tree_sizes is None:
+            ids = self._device_index()
+            self._tree_sizes = np.asarray(
+                [self.batch.device_slices[int(d)][1] for d in ids], dtype=np.int64
+            )
+        return self._tree_sizes.copy()
 
     def communication_profile(self, task: str = "supervised") -> Dict[str, np.ndarray]:
         """Per-device inter-device communication rounds in one training epoch.
@@ -297,30 +532,57 @@ class TreeBasedGNNTrainer:
         aggregation.  The unsupervised task additionally requests and receives
         negative-sample embeddings — as many as the device's original degree,
         independent of trimming (negatives are non-neighbours).
+
+        All arrays are aligned to the sorted device-id order (also returned
+        under ``"device_ids"``).
         """
         if task not in ("supervised", "unsupervised"):
             raise ValueError("task must be 'supervised' or 'unsupervised'")
-        num_devices = self.environment.num_devices
-        workloads = self.construction.assignment.workload_array()
-        if workloads.shape[0] < num_devices:
-            workloads = np.pad(workloads, (0, num_devices - workloads.shape[0]))
+        cached = self._profile_cache.get(task)
+        if cached is not None:
+            return {key: value.copy() for key, value in cached.items()}
 
-        incoming = np.zeros(num_devices, dtype=np.int64)
-        for device_id, selected in self.construction.assignment.selected.items():
-            for neighbor in selected:
-                incoming[int(neighbor)] += 1
+        ids = self._device_index()
+        num_devices = ids.shape[0]
+        full_workloads = self.construction.assignment.workload_array()
+        max_id = int(ids.max()) if num_devices else -1
+        if full_workloads.shape[0] <= max_id:
+            full_workloads = np.pad(
+                full_workloads, (0, max_id + 1 - full_workloads.shape[0])
+            )
+        workloads = full_workloads[ids] if num_devices else full_workloads[:0]
+
+        selected_sets = self.construction.assignment.selected.values()
+        all_selected = (
+            np.concatenate(
+                [
+                    np.fromiter(selected, dtype=np.int64, count=len(selected))
+                    for selected in selected_sets
+                ]
+            )
+            if any(len(s) for s in selected_sets)
+            else np.zeros(0, dtype=np.int64)
+        )
+        incoming = np.bincount(
+            np.searchsorted(ids, all_selected), minlength=num_devices
+        ).astype(np.int64)
 
         rounds = workloads + incoming + 1
         if task == "unsupervised":
-            degrees = np.zeros(num_devices, dtype=np.int64)
-            for device_id, device in self.environment.devices.items():
-                degrees[device_id] = device.degree
+            degrees = np.asarray(
+                [self.environment.devices[int(d)].degree for d in ids], dtype=np.int64
+            )
             rounds = rounds + 2 * degrees
-        return {
+        profile = {
             "per_device_rounds": rounds,
             "workloads": workloads,
             "incoming": incoming,
+            "device_ids": ids,
         }
+        self._profile_cache[task] = profile
+        # Hand out copies: the cached arrays feed later accounting and must
+        # not be mutable through the returned dictionary.
+        return {key: value.copy() for key, value in profile.items()}
 
     def simulated_epoch_time(self, task: str = "supervised") -> float:
         """Simulated wall-clock duration of one synchronous epoch (Fig. 8b)."""
@@ -329,20 +591,26 @@ class TreeBasedGNNTrainer:
 
     def _charge_epoch(self, task: str) -> None:
         """Charge one epoch's communication and compute to the ledger (aggregated)."""
-        profile = self.communication_profile(task)
-        total_rounds = int(profile["per_device_rounds"].sum())
+        cached = self._epoch_charge_cache.get(task)
+        if cached is None:
+            profile = self.communication_profile(task)
+            total_rounds = int(profile["per_device_rounds"].sum())
+            cached = (
+                total_rounds * self.config.output_dim * 8,
+                f"epoch-{task}-rounds:{total_rounds}",
+                self._device_index(),
+                self.tree_sizes().astype(np.float64),
+            )
+            self._epoch_charge_cache[task] = cached
+        size_bytes, description, device_ids, costs = cached
         self.environment.ledger.send(
             sender=0,
             recipient=0,
             kind=MessageKind.EMBEDDING_EXCHANGE,
-            size_bytes=total_rounds * self.config.output_dim * 8,
-            description=f"epoch-{task}-rounds:{total_rounds}",
+            size_bytes=size_bytes,
+            description=description,
         )
-        sizes = self.tree_sizes()
-        for device_id in range(sizes.shape[0]):
-            self.environment.ledger.compute(
-                device_id, float(sizes[device_id]), description="tree-gnn-epoch"
-            )
+        self.environment.ledger.compute_many(device_ids, costs, description="tree-gnn-epoch")
         self.environment.next_round()
 
     # ------------------------------------------------------------------ #
@@ -363,6 +631,7 @@ class TreeBasedGNNTrainer:
         optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         history = SupervisedHistory()
         best_state = None
+        best_predictions: Optional[np.ndarray] = None
         start = time.perf_counter()
 
         for epoch in range(epochs):
@@ -385,6 +654,10 @@ class TreeBasedGNNTrainer:
             if val_acc >= history.best_val_accuracy:
                 history.best_val_accuracy = val_acc
                 best_state = model.state_dict()
+                # Evaluation is deterministic, so the best epoch's predictions
+                # are exactly what re-running the model on the best state
+                # would produce — keep them and skip the final forward pass.
+                best_predictions = predictions
             self._charge_epoch("supervised")
             if log_every and (epoch + 1) % log_every == 0:
                 print(
@@ -394,10 +667,13 @@ class TreeBasedGNNTrainer:
 
         if best_state is not None:
             model.load_state_dict(best_state)
-        with no_grad():
-            model.eval()
-            final_logits = model.logits(self.batch, self._features)
-            final_predictions = np.argmax(final_logits.data, axis=1)
+        if best_predictions is not None:
+            final_predictions = best_predictions
+        else:
+            with no_grad():
+                model.eval()
+                final_logits = model.logits(self.batch, self._features)
+                final_predictions = np.argmax(final_logits.data, axis=1)
         history.test_accuracy = float(
             (final_predictions[split.test_mask] == labels[split.test_mask]).mean()
         )
@@ -419,15 +695,16 @@ class TreeBasedGNNTrainer:
         optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
         history = UnsupervisedHistory()
         best_state = None
+        best_embeddings: Optional[np.ndarray] = None
         start = time.perf_counter()
 
         train_pairs = np.asarray(edge_split.train_edges, dtype=np.int64)
-        existing = {tuple(sorted((int(u), int(v)))) for u, v in train_pairs}
+        edge_codes = self._encode_pairs(train_pairs)
 
         for epoch in range(epochs):
             model.train()
             embeddings = model.vertex_embeddings(self.batch, self._features)
-            negatives = self._sample_negative_pairs(train_pairs, existing)
+            negatives = self._sample_negative_pairs(train_pairs, edge_codes)
             loss = link_prediction_loss(
                 F.gather(embeddings, train_pairs[:, 0]),
                 F.gather(embeddings, train_pairs[:, 1]),
@@ -448,6 +725,9 @@ class TreeBasedGNNTrainer:
             if val_auc >= history.best_val_auc:
                 history.best_val_auc = val_auc
                 best_state = model.state_dict()
+                # Evaluation embeddings are deterministic given the state —
+                # reuse the best epoch's instead of a final forward pass.
+                best_embeddings = eval_embeddings.data
             self._charge_epoch("unsupervised")
             if log_every and (epoch + 1) % log_every == 0:
                 print(
@@ -457,26 +737,54 @@ class TreeBasedGNNTrainer:
 
         if best_state is not None:
             model.load_state_dict(best_state)
-        with no_grad():
-            model.eval()
-            final_embeddings = model.vertex_embeddings(self.batch, self._features)
+        if best_embeddings is None:
+            with no_grad():
+                model.eval()
+                best_embeddings = model.vertex_embeddings(self.batch, self._features).data
         history.test_auc = roc_auc_from_embeddings(
-            final_embeddings.data, edge_split.test_edges, edge_split.test_negatives
+            best_embeddings, edge_split.test_edges, edge_split.test_negatives
         )
         history.wall_clock_seconds = time.perf_counter() - start
         return model, history
 
-    def _sample_negative_pairs(self, positive_pairs: np.ndarray, existing: set) -> np.ndarray:
-        """One negative (u, w) per positive (u, v) with (u, w) not an edge."""
+    def _encode_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Sorted unique codes ``min * base + max`` of undirected vertex pairs."""
+        base = max(self.environment.num_devices, int(pairs.max()) + 1 if pairs.size else 1)
+        lo = np.minimum(pairs[:, 0], pairs[:, 1])
+        hi = np.maximum(pairs[:, 0], pairs[:, 1])
+        return np.unique(lo * base + hi)
+
+    def _sample_negative_pairs(self, positive_pairs: np.ndarray, edge_codes: np.ndarray) -> np.ndarray:
+        """One negative ``(u, w)`` per positive ``(u, v)`` with ``(u, w)`` not an edge.
+
+        Vectorised rejection sampling: every still-invalid row redraws its
+        candidate, up to 20 rounds (after which the last candidate is kept,
+        mirroring the bounded retry of the scalar sampler).  ``edge_codes``
+        is the sorted pair encoding produced by :meth:`_encode_pairs`.
+        """
         num_vertices = self.environment.num_devices
-        negatives = np.empty_like(positive_pairs)
-        for index, (u, _) in enumerate(positive_pairs):
-            for _ in range(20):
-                candidate = int(self.rng.integers(num_vertices))
-                if candidate != int(u) and tuple(sorted((int(u), candidate))) not in existing:
-                    break
-            negatives[index] = (int(u), candidate)
-        return negatives
+        base = max(num_vertices, int(positive_pairs.max()) + 1 if positive_pairs.size else 1)
+        sources = positive_pairs[:, 0].astype(np.int64)
+        candidates = np.empty(sources.shape[0], dtype=np.int64)
+        pending = np.arange(sources.shape[0])
+        for _ in range(20):
+            if pending.size == 0:
+                break
+            draws = self.rng.integers(num_vertices, size=pending.shape[0])
+            candidates[pending] = draws
+            pending_sources = sources[pending]
+            lo = np.minimum(pending_sources, draws)
+            hi = np.maximum(pending_sources, draws)
+            codes = lo * base + hi
+            if edge_codes.size:
+                positions = np.minimum(
+                    np.searchsorted(edge_codes, codes), edge_codes.shape[0] - 1
+                )
+                is_edge = edge_codes[positions] == codes
+            else:
+                is_edge = np.zeros(codes.shape[0], dtype=bool)
+            pending = pending[(draws == pending_sources) | is_edge]
+        return np.stack([sources, candidates], axis=1)
 
 
 def roc_auc_from_embeddings(

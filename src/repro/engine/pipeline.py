@@ -1,0 +1,155 @@
+"""Staged execution pipeline with content-keyed artifact reuse.
+
+A :class:`Pipeline` runs an ordered list of :class:`~repro.engine.stages.Stage`
+objects over a :class:`~repro.engine.stages.PipelineContext`, consulting an
+:class:`~repro.engine.store.ArtifactStore` before every stage:
+
+* **miss** — the stage computes for real; the pipeline records the stage's
+  RNG consumption and communication-ledger delta alongside the value;
+* **hit** — the stage's cached value is replayed: the ledger delta is
+  appended to the fresh environment's ledger, the shared RNG is fast-forwarded
+  to the post-stage state, and the stage's ``replay`` hook re-installs cheap
+  derived state (assignments, received features).
+
+The two bookkeeping steps are what make reuse *transparent*: a downstream
+consumer (the trainer, the ledger summary, a later stage) cannot distinguish
+a warm run from a cold one — results are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..federation.events import ComputeEvent
+from .stages import PipelineContext, Stage, lumos_stages
+from .store import ArtifactStore, StoredArtifact, default_store
+
+
+class Pipeline:
+    """Runs stages in order with artifact reuse."""
+
+    def __init__(self, stages: List[Stage], store: Optional[ArtifactStore] = None) -> None:
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        self.stages = list(stages)
+        self.store = store if store is not None else default_store()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, context: PipelineContext, through: Optional[str] = None) -> PipelineContext:
+        """Execute stages (up to and including ``through``) over ``context``.
+
+        Stages already present in ``context.artifacts`` are skipped, so a
+        context can be advanced incrementally (``through="construction"``
+        now, ``through="tree_batch"`` later) without recomputation.
+        """
+        if through is not None and all(stage.name != through for stage in self.stages):
+            raise KeyError(f"unknown stage '{through}'")
+        for stage in self.stages:
+            if stage.name not in context.artifacts:
+                self._run_stage(stage, context)
+            if stage.name == through:
+                break
+        return context
+
+    def _run_stage(self, stage: Stage, context: PipelineContext) -> None:
+        key = stage.key(context)
+        artifact = self.store.get(key)
+        if artifact is not None:
+            self.store.record_hit(stage.name)
+            stage.replay(context, artifact.value)
+            self._replay_side_effects(context, artifact)
+        else:
+            self.store.record_miss(stage.name)
+            marks = self._ledger_marks(context)
+            value = stage.compute(context)
+            artifact = self._capture(context, value, marks)
+            self.store.put(key, artifact)
+        context.artifacts[stage.name] = artifact.value
+        context.keys[stage.name] = key
+
+    # ------------------------------------------------------------------ #
+    # Side-effect capture / replay
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ledger_marks(context: PipelineContext):
+        environment = context.environment
+        if environment is None:
+            return (0, 0, 0, 0)
+        ledger = environment.ledger
+        return (
+            len(ledger.messages),
+            len(ledger.compute_events),
+            len(ledger.bulk_compute_events),
+            ledger.current_round,
+        )
+
+    @staticmethod
+    def _capture(context: PipelineContext, value, marks) -> StoredArtifact:
+        messages_before, events_before, bulk_before, round_before = marks
+        ledger = context.environment.ledger if context.environment is not None else None
+        messages: tuple = ()
+        compute_events: tuple = ()
+        bulk_events: tuple = ()
+        rounds_delta = 0
+        if ledger is not None:
+            messages = tuple(ledger.messages[messages_before:])
+            compute_events = tuple(
+                (event.device, event.cost, event.round_index, event.description)
+                for event in ledger.compute_events[events_before:]
+            )
+            bulk_events = tuple(ledger.bulk_compute_events[bulk_before:])
+            rounds_delta = ledger.current_round - round_before
+        return StoredArtifact(
+            value=value,
+            rng_state=context.rng.bit_generator.state,
+            messages=messages,
+            compute_events=compute_events,
+            bulk_events=bulk_events,
+            rounds_delta=rounds_delta,
+            base_round=round_before,
+        )
+
+    @staticmethod
+    def _replay_side_effects(context: PipelineContext, artifact: StoredArtifact) -> None:
+        if artifact.rng_state is not None:
+            context.rng.bit_generator.state = artifact.rng_state
+        environment = context.environment
+        if environment is None:
+            return
+        ledger = environment.ledger
+        offset = ledger.current_round - artifact.base_round
+        if offset == 0:
+            ledger.messages.extend(artifact.messages)
+        else:
+            ledger.messages.extend(
+                dataclasses.replace(message, round_index=message.round_index + offset)
+                for message in artifact.messages
+            )
+        ledger.compute_events.extend(
+            ComputeEvent(
+                device=device,
+                cost=cost,
+                round_index=round_index + offset,
+                description=description,
+            )
+            for device, cost, round_index, description in artifact.compute_events
+        )
+        if offset == 0:
+            ledger.bulk_compute_events.extend(artifact.bulk_events)
+        else:
+            ledger.bulk_compute_events.extend(
+                dataclasses.replace(event, round_index=event.round_index + offset)
+                for event in artifact.bulk_events
+            )
+        ledger.current_round += artifact.rounds_delta
+
+
+def build_lumos_pipeline(store: Optional[ArtifactStore] = None) -> Pipeline:
+    """The standard Lumos pipeline: partition -> trees -> LDP -> batch."""
+    return Pipeline(lumos_stages(), store=store)

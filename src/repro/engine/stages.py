@@ -1,0 +1,174 @@
+"""The Lumos pipeline stages.
+
+Each stage wraps one expensive phase of the Lumos pipeline and knows three
+things:
+
+* ``key(context)`` — a content-derived cache key (inputs that change the
+  stage's output are part of the key; nothing else is);
+* ``compute(context)`` — run the phase for real, mutating the context's
+  environment / RNG exactly like the eager pipeline did;
+* ``replay(context, value)`` — re-install a cached result into a fresh
+  context cheaply (apply the assignment, store received features, ...).
+
+The surrounding :class:`~repro.engine.pipeline.Pipeline` takes care of the
+parts every stage shares: RNG state capture/restore and communication-ledger
+delta capture/replay, which together make a cache hit observably identical
+to a cold computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+import numpy as np
+
+from ..federation.simulator import FederatedEnvironment
+from ..graph.ego import partition_node_level
+from ..graph.graph import Graph
+from .fingerprint import fingerprint_graph, fingerprint_value
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..core.config import LumosConfig
+
+# NOTE: repro.core is imported lazily inside the stage methods — the core
+# package itself wires LumosSystem through this engine, so a module-level
+# import here would be circular.
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through one pipeline run.
+
+    ``rng`` is the single shared random stream of the deployment (the same
+    discipline as the eager pipeline: construction, LDP initialisation and
+    training consume it in order).  ``artifacts`` and ``keys`` collect each
+    completed stage's value and cache key.
+    """
+
+    graph: Graph
+    config: "LumosConfig"
+    rng: np.random.Generator
+    environment: Optional[FederatedEnvironment] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+    keys: Dict[str, str] = field(default_factory=dict)
+
+
+class Stage:
+    """One cacheable phase of the pipeline."""
+
+    name: str = "stage"
+
+    def key(self, context: PipelineContext) -> str:
+        raise NotImplementedError
+
+    def compute(self, context: PipelineContext) -> Any:
+        raise NotImplementedError
+
+    def replay(self, context: PipelineContext, value: Any) -> None:
+        """Install a cached ``value`` into ``context`` (default: nothing)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PartitionStage(Stage):
+    """Node-level partition of the global graph into ego networks.
+
+    The partition depends only on the graph; the (fresh, per-run) federated
+    environment is rebuilt from it on both the compute and the replay path,
+    because devices carry mutable per-run state that must not be shared
+    between systems.
+    """
+
+    name = "partition"
+
+    def key(self, context: PipelineContext) -> str:
+        return f"partition/{fingerprint_graph(context.graph)}/seed={context.config.seed}"
+
+    def compute(self, context: PipelineContext) -> Any:
+        partition = partition_node_level(context.graph)
+        self.replay(context, partition)
+        return partition
+
+    def replay(self, context: PipelineContext, value: Any) -> None:
+        context.environment = FederatedEnvironment.from_partition(
+            value, seed=context.config.seed
+        )
+
+
+class TreeConstructionStage(Stage):
+    """Heterogeneity-aware tree construction (greedy + MCMC balancing)."""
+
+    name = "construction"
+
+    def key(self, context: PipelineContext) -> str:
+        return (
+            f"construction/{context.keys['partition']}/"
+            f"{fingerprint_value(context.config.constructor)}"
+        )
+
+    def compute(self, context: PipelineContext) -> Any:
+        from ..core.constructor import TreeConstructor
+
+        constructor = TreeConstructor(context.config.constructor, rng=context.rng)
+        return constructor.construct(context.environment)
+
+    def replay(self, context: PipelineContext, value: Any) -> None:
+        context.environment.apply_assignment(value.assignment.as_lists())
+
+
+class EmbeddingInitStage(Stage):
+    """LDP feature exchange (depends on the construction and on epsilon)."""
+
+    name = "ldp_init"
+
+    def key(self, context: PipelineContext) -> str:
+        return (
+            f"ldp/{context.keys['construction']}/"
+            f"epsilon={float(context.config.trainer.epsilon)!r}"
+        )
+
+    def compute(self, context: PipelineContext) -> Any:
+        from ..core.embedding_init import LDPEmbeddingInitializer
+        from ..crypto.ldp import FeatureBounds
+
+        initializer = LDPEmbeddingInitializer(
+            epsilon=context.config.trainer.epsilon,
+            bounds=FeatureBounds(0.0, 1.0),
+            rng=context.rng,
+        )
+        return initializer.run(
+            context.environment, context.artifacts["construction"].assignment
+        )
+
+    def replay(self, context: PipelineContext, value: Any) -> None:
+        devices = context.environment.devices
+        for receiver, per_sender in value.received_features.items():
+            device = devices[receiver]
+            for sender, feature in per_sender.items():
+                device.store_received_feature(sender, feature)
+
+
+class TreeBatchStage(Stage):
+    """Assembly of the block-diagonal union graph the trainer runs on."""
+
+    name = "tree_batch"
+
+    def key(self, context: PipelineContext) -> str:
+        return f"batch/{context.keys['ldp_init']}/d={context.graph.num_features}"
+
+    def compute(self, context: PipelineContext) -> Any:
+        from ..core.trainer import TreeBatch
+
+        return TreeBatch.build(
+            context.environment,
+            context.artifacts["construction"],
+            context.artifacts["ldp_init"],
+            context.graph.num_features,
+        )
+
+
+def lumos_stages() -> list:
+    """The canonical stage sequence of a Lumos deployment."""
+    return [PartitionStage(), TreeConstructionStage(), EmbeddingInitStage(), TreeBatchStage()]

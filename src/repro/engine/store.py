@@ -1,0 +1,139 @@
+"""Content-keyed artifact store with LRU eviction and hit/miss accounting.
+
+The store is the memory of the staged execution engine: every expensive
+pipeline stage (partition, tree construction, LDP initialisation, batch
+assembly) writes its result here under a key derived from the *content* of
+its inputs.  Subsequent runs — another epsilon in a sweep, another backbone,
+a repeated experiment — hit the store instead of recomputing, which is what
+turns a sweep from O(points x full-pipeline) into O(stages-changed).
+
+Hit/miss counters are tracked per stage name so tests and benchmarks can
+assert reuse (e.g. "a 5-point epsilon sweep runs tree construction exactly
+once").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass
+class StageStats:
+    """Cache counters of one stage."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+
+@dataclass
+class StoredArtifact:
+    """One cached stage result plus the side effects needed to replay it.
+
+    ``value`` is the stage's return value.  ``rng_state`` is the bit-generator
+    state of the pipeline RNG *after* the stage ran, so a cache hit leaves the
+    shared RNG stream exactly where a cold run would have — downstream stages
+    (and training) are bit-for-bit identical either way.  ``messages`` /
+    ``compute_events`` / ``rounds_delta`` capture the communication-ledger
+    delta the stage produced, replayed into the (fresh) environment's ledger
+    on a hit so system-side accounting does not depend on cache state.
+    """
+
+    value: Any
+    rng_state: Optional[dict] = None
+    messages: Tuple = ()
+    compute_events: Tuple = ()
+    bulk_events: Tuple = ()
+    rounds_delta: int = 0
+    base_round: int = 0
+
+
+class ArtifactStore:
+    """In-memory LRU store mapping content keys to :class:`StoredArtifact`."""
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, StoredArtifact]" = OrderedDict()
+        self.stats: Dict[str, StageStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entry access
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[StoredArtifact]:
+        """Return the artifact stored under ``key`` (refreshing its LRU slot)."""
+        artifact = self._entries.get(key)
+        if artifact is not None:
+            self._entries.move_to_end(key)
+        return artifact
+
+    def put(self, key: str, artifact: StoredArtifact) -> None:
+        """Store ``artifact`` under ``key``, evicting the LRU entry if full."""
+        self._entries[key] = artifact
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.stats.clear()
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+    def _stats_for(self, stage: str) -> StageStats:
+        if stage not in self.stats:
+            self.stats[stage] = StageStats()
+        return self.stats[stage]
+
+    def record_hit(self, stage: str) -> None:
+        self._stats_for(stage).hits += 1
+
+    def record_miss(self, stage: str) -> None:
+        self._stats_for(stage).misses += 1
+
+    def hit_count(self, stage: str) -> int:
+        """Cache hits recorded for ``stage``."""
+        return self.stats.get(stage, StageStats()).hits
+
+    def miss_count(self, stage: str) -> int:
+        """Cache misses (i.e. actual computations) recorded for ``stage``."""
+        return self.stats.get(stage, StageStats()).misses
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss counters per stage, as plain dictionaries."""
+        return {
+            stage: {"hits": stats.hits, "misses": stats.misses}
+            for stage, stats in sorted(self.stats.items())
+        }
+
+
+_default_store: Optional[ArtifactStore] = None
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store shared by all systems that don't pass their own."""
+    global _default_store
+    if _default_store is None:
+        _default_store = ArtifactStore()
+    return _default_store
+
+
+def configure_default_store(max_entries: int) -> ArtifactStore:
+    """Replace the process-wide store (e.g. to bound memory differently)."""
+    global _default_store
+    _default_store = ArtifactStore(max_entries=max_entries)
+    return _default_store

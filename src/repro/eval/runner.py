@@ -4,6 +4,12 @@ Every function takes an :class:`ExperimentScale` so the same code drives the
 quick benchmark configurations (small synthetic graphs, tens of epochs) and
 larger runs.  The returned dictionaries are consumed by
 :mod:`repro.eval.figures` and by the pytest benchmarks.
+
+All Lumos runs go through the staged execution engine: the sweeps share one
+content-keyed :class:`~repro.engine.store.ArtifactStore`, so stages whose
+inputs do not change between sweep points (e.g. tree construction across an
+epsilon sweep, the whole pre-training pipeline across a backbone sweep) are
+computed once and replayed bit-for-bit afterwards.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from ..baselines import (
 )
 from ..core import LumosSystem, default_config_for
 from ..core.config import LumosConfig
+from ..engine import ArtifactStore, default_store
 from ..graph import Graph, load_dataset, split_edges, split_nodes
 from .metrics import relative_change
 
@@ -137,13 +144,22 @@ def run_epsilon_sweep(
     epsilons: Optional[List[float]] = None,
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
+    store: Optional[ArtifactStore] = None,
 ) -> Dict[float, float]:
-    """Lumos accuracy / AUC as a function of the privacy budget ``epsilon``."""
+    """Lumos accuracy / AUC as a function of the privacy budget ``epsilon``.
+
+    Epsilon only affects the LDP exchange onwards: the partition and the tree
+    construction are computed for the first point and replayed from the
+    artifact store for every other point.
+    """
     epsilons = epsilons or [0.5, 1.0, 2.0, 4.0]
+    store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
     results: Dict[float, float] = {}
     for epsilon in epsilons:
-        system = LumosSystem(graph, _lumos_config(dataset, scale, backbone, epsilon=epsilon))
+        system = LumosSystem(
+            graph, _lumos_config(dataset, scale, backbone, epsilon=epsilon), store=store
+        )
         if task == "supervised":
             split = split_nodes(graph, seed=scale.seed)
             results[epsilon] = system.run_supervised(split).test_accuracy
@@ -161,8 +177,14 @@ def run_ablation(
     task: str = "supervised",
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
+    store: Optional[ArtifactStore] = None,
 ) -> Dict[str, float]:
-    """Lumos vs Lumos w.o. virtual nodes vs Lumos w.o. tree trimming."""
+    """Lumos vs Lumos w.o. virtual nodes vs Lumos w.o. tree trimming.
+
+    The three variants share the node-level partition (and, where the
+    constructor configuration matches, the construction) via the store.
+    """
+    store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
     configs = {
         "lumos": _lumos_config(dataset, scale, backbone),
@@ -171,7 +193,7 @@ def run_ablation(
     }
     results: Dict[str, float] = {}
     for name, config in configs.items():
-        system = LumosSystem(graph, config)
+        system = LumosSystem(graph, config, store=store)
         if task == "supervised":
             split = split_nodes(graph, seed=scale.seed)
             results[name] = system.run_supervised(split).test_accuracy
@@ -187,11 +209,15 @@ def run_ablation(
 def run_workload_analysis(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
+    store: Optional[ArtifactStore] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-device workload arrays for Lumos and Lumos w.o. TT."""
+    store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
-    trimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn"))
-    untrimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn").without_tree_trimming())
+    trimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn"), store=store)
+    untrimmed = LumosSystem(
+        graph, _lumos_config(dataset, scale, "gcn").without_tree_trimming(), store=store
+    )
     return {
         "lumos": trimmed.workload_distribution(),
         "lumos_wo_tt": untrimmed.workload_distribution(),
@@ -205,15 +231,17 @@ def run_workload_analysis(
 def run_system_cost(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
+    store: Optional[ArtifactStore] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-epoch communication rounds and simulated epoch time, with/without TT."""
+    store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
     results: Dict[str, Dict[str, float]] = {}
     for name, config in (
         ("lumos", _lumos_config(dataset, scale, "gcn")),
         ("lumos_wo_tt", _lumos_config(dataset, scale, "gcn").without_tree_trimming()),
     ):
-        system = LumosSystem(graph, config)
+        system = LumosSystem(graph, config, store=store)
         trainer = system.trainer()
         entry: Dict[str, float] = {}
         for task in ("supervised", "unsupervised"):

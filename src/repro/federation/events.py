@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
+import numpy as np
+
 
 class MessageKind(Enum):
     """Categories of inter-party traffic tracked by the simulator.
@@ -29,7 +31,7 @@ SERVER_ID = -1
 """Pseudo device id used for the central server in message records."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A single directed message between two parties."""
 
@@ -50,7 +52,7 @@ class Message:
         return self.sender != SERVER_ID and self.recipient != SERVER_ID
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputeEvent:
     """A unit of simulated local computation on one device."""
 
@@ -62,3 +64,23 @@ class ComputeEvent:
     def __post_init__(self) -> None:
         if self.cost < 0:
             raise ValueError("compute cost must be non-negative")
+
+
+@dataclass(slots=True)
+class BulkComputeEvent:
+    """One round's local computation over many devices, stored columnar.
+
+    Semantically equivalent to one :class:`ComputeEvent` per ``(device,
+    cost)`` pair; used by the per-epoch trainer accounting where creating
+    hundreds of event objects per epoch is measurable overhead.  The arrays
+    are treated as immutable once recorded.
+    """
+
+    devices: "np.ndarray"
+    costs: "np.ndarray"
+    round_index: int
+    description: str = ""
+
+    @property
+    def total_cost(self) -> float:
+        return float(self.costs.sum())

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from .events import SERVER_ID, ComputeEvent, Message, MessageKind
+from .events import SERVER_ID, BulkComputeEvent, ComputeEvent, Message, MessageKind
 
 
 @dataclass
@@ -28,6 +28,7 @@ class CommunicationLedger:
 
     messages: List[Message] = field(default_factory=list)
     compute_events: List[ComputeEvent] = field(default_factory=list)
+    bulk_compute_events: List[BulkComputeEvent] = field(default_factory=list)
     current_round: int = 0
 
     # ------------------------------------------------------------------ #
@@ -61,6 +62,25 @@ class CommunicationLedger:
         self.compute_events.append(event)
         return event
 
+    def compute_many(self, devices, costs, description: str = "") -> BulkComputeEvent:
+        """Record one round of computation over many devices at once.
+
+        Semantically identical to calling :meth:`compute` per ``(device,
+        cost)`` pair, but stored columnar (one :class:`BulkComputeEvent`);
+        used by the trainer's per-epoch accounting where creating hundreds of
+        event objects per epoch is measurable overhead.
+        """
+        event = BulkComputeEvent(
+            devices=np.asarray(devices, dtype=np.int64),
+            costs=np.asarray(costs, dtype=np.float64),
+            round_index=self.current_round,
+            description=description,
+        )
+        if event.devices.shape != event.costs.shape:
+            raise ValueError("devices and costs must have matching shapes")
+        self.bulk_compute_events.append(event)
+        return event
+
     def next_round(self) -> int:
         """Advance the synchronous round counter."""
         self.current_round += 1
@@ -70,6 +90,7 @@ class CommunicationLedger:
         """Clear all recorded events."""
         self.messages.clear()
         self.compute_events.clear()
+        self.bulk_compute_events.clear()
         self.current_round = 0
 
     # ------------------------------------------------------------------ #
@@ -95,20 +116,69 @@ class CommunicationLedger:
         """Messages where neither endpoint is the server."""
         return sum(1 for message in self.messages if message.is_device_to_device)
 
-    def per_device_message_counts(self, num_devices: int) -> np.ndarray:
-        """Array of message counts charged to each device (as the sender)."""
+    @staticmethod
+    def _positions(device_ids: np.ndarray, devices: np.ndarray):
+        """Map device ids onto positions in the sorted ``device_ids`` array."""
+        positions = np.searchsorted(device_ids, devices)
+        positions = np.minimum(positions, device_ids.shape[0] - 1)
+        valid = device_ids[positions] == devices
+        return positions, valid
+
+    def per_device_message_counts(
+        self, num_devices: int, device_ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Array of message counts charged to each device (as the sender).
+
+        Positional by id ``0..num_devices-1`` by default; deployments with
+        non-contiguous device ids pass the sorted ``device_ids`` array to get
+        counts aligned to it (no id is dropped).
+        """
+        senders = np.asarray(
+            [m.sender for m in self.messages if m.sender != SERVER_ID], dtype=np.int64
+        )
+        if device_ids is not None:
+            device_ids = np.asarray(device_ids, dtype=np.int64)
+            counts = np.zeros(device_ids.shape[0], dtype=np.int64)
+            if senders.size and device_ids.size:
+                positions, valid = self._positions(device_ids, senders)
+                counts += np.bincount(
+                    positions[valid], minlength=device_ids.shape[0]
+                ).astype(np.int64)
+            return counts
         counts = np.zeros(num_devices, dtype=np.int64)
-        for message in self.messages:
-            if message.sender != SERVER_ID and message.sender < num_devices:
-                counts[message.sender] += 1
+        senders = senders[(senders >= 0) & (senders < num_devices)]
+        if senders.size:
+            counts += np.bincount(senders, minlength=num_devices).astype(np.int64)
         return counts
 
-    def per_device_compute(self, num_devices: int) -> np.ndarray:
-        """Total compute cost charged to each device."""
+    def per_device_compute(
+        self, num_devices: int, device_ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Total compute cost charged to each device.
+
+        Positional by id ``0..num_devices-1`` by default; deployments with
+        non-contiguous device ids pass the sorted ``device_ids`` array to get
+        costs aligned to it (no id is dropped).
+        """
+        if device_ids is not None:
+            device_ids = np.asarray(device_ids, dtype=np.int64)
+            costs = np.zeros(device_ids.shape[0], dtype=np.float64)
+            if device_ids.size:
+                for event in self.compute_events:
+                    position = int(np.searchsorted(device_ids, event.device))
+                    if position < device_ids.shape[0] and device_ids[position] == event.device:
+                        costs[position] += event.cost
+                for bulk in self.bulk_compute_events:
+                    positions, valid = self._positions(device_ids, bulk.devices)
+                    np.add.at(costs, positions[valid], bulk.costs[valid])
+            return costs
         costs = np.zeros(num_devices, dtype=np.float64)
         for event in self.compute_events:
             if 0 <= event.device < num_devices:
                 costs[event.device] += event.cost
+        for bulk in self.bulk_compute_events:
+            in_range = (bulk.devices >= 0) & (bulk.devices < num_devices)
+            np.add.at(costs, bulk.devices[in_range], bulk.costs[in_range])
         return costs
 
     def epoch_completion_time(
@@ -116,17 +186,22 @@ class CommunicationLedger:
         num_devices: int,
         compute_time_per_unit: float = 1.0,
         communication_latency: float = 0.05,
+        device_ids: Optional[np.ndarray] = None,
     ) -> float:
         """Simulated wall-clock time of one synchronous epoch.
 
         The synchronous protocol finishes when the *slowest* device has
         completed its local computation and sent its messages — this is the
-        straggler effect the tree trimmer mitigates.
+        straggler effect the tree trimmer mitigates.  Pass ``device_ids``
+        when ids are not contiguous so no device's cost is dropped.
         """
-        compute = self.per_device_compute(num_devices) * compute_time_per_unit
-        message_counts = self.per_device_message_counts(num_devices).astype(np.float64)
+        compute = self.per_device_compute(num_devices, device_ids=device_ids)
+        compute = compute * compute_time_per_unit
+        message_counts = self.per_device_message_counts(
+            num_devices, device_ids=device_ids
+        ).astype(np.float64)
         per_device_time = compute + message_counts * communication_latency
-        return float(per_device_time.max()) if num_devices else 0.0
+        return float(per_device_time.max()) if per_device_time.size else 0.0
 
     def summary(self, num_devices: Optional[int] = None) -> Dict[str, float]:
         """Return the headline counters as a dictionary."""
@@ -135,7 +210,10 @@ class CommunicationLedger:
             "total_bytes": float(self.total_bytes()),
             "device_to_device_messages": float(self.device_to_device_messages()),
             "rounds": float(self.current_round),
-            "total_compute": float(sum(event.cost for event in self.compute_events)),
+            "total_compute": float(
+                sum(event.cost for event in self.compute_events)
+                + sum(event.total_cost for event in self.bulk_compute_events)
+            ),
         }
         if num_devices:
             result["avg_messages_per_device"] = result["device_to_device_messages"] / num_devices

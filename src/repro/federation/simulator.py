@@ -35,6 +35,9 @@ class FederatedEnvironment:
     server: Server
     ledger: CommunicationLedger
     rng: np.random.Generator
+    _directed_edges_cache: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -89,20 +92,25 @@ class FederatedEnvironment:
     def directed_edges(self) -> np.ndarray:
         """Directed ``(2, 2E)`` edge index of the union of all ego networks.
 
-        Cached after the first call; used by the vectorised fast path of the
-        MCMC balancer (the edge structure never changes during balancing).
+        Cached in an explicit attribute after the first call (and invalidated
+        by :meth:`apply_assignment`); used by the vectorised fast path of the
+        MCMC balancer.
         """
-        cached = getattr(self, "_directed_edges_cache", None)
-        if cached is not None:
-            return cached
-        sources: List[int] = []
-        destinations: List[int] = []
+        if self._directed_edges_cache is not None:
+            return self._directed_edges_cache
+        source_blocks: List[np.ndarray] = []
+        destination_blocks: List[np.ndarray] = []
         for device_id, device in self.devices.items():
-            for neighbor in device.ego.neighbors:
-                sources.append(device_id)
-                destinations.append(int(neighbor))
-        edges = np.asarray([sources, destinations], dtype=np.int64).reshape(2, -1)
-        object.__setattr__(self, "_directed_edges_cache", edges)
+            neighbors = device.ego.neighbors
+            source_blocks.append(np.full(neighbors.shape[0], device_id, dtype=np.int64))
+            destination_blocks.append(neighbors.astype(np.int64, copy=False))
+        if source_blocks:
+            edges = np.stack(
+                [np.concatenate(source_blocks), np.concatenate(destination_blocks)]
+            )
+        else:
+            edges = np.zeros((2, 0), dtype=np.int64)
+        self._directed_edges_cache = edges
         return edges
 
     # ------------------------------------------------------------------ #
@@ -145,6 +153,10 @@ class FederatedEnvironment:
 
     def apply_assignment(self, assignment: Dict[int, Iterable[int]]) -> None:
         """Install a neighbour selection produced by the tree constructor."""
+        # The selection does not alter the ego-network edge structure, but a
+        # changed assignment is the one event after which stale derived state
+        # would be dangerous — drop the cache defensively.
+        self._directed_edges_cache = None
         for device_id, neighbors in assignment.items():
             self.devices[device_id].select_neighbors(list(neighbors))
 

@@ -16,8 +16,9 @@ import scipy.sparse as sp
 
 from ..nn import functional as F
 from ..nn import init
+from ..nn.backend import get_backend
 from ..nn.module import Module, Parameter
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, _as_array
 
 
 class GCNLayer(Module):
@@ -37,6 +38,9 @@ class GCNLayer(Module):
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+        # Memos of the last constant-input propagation (see _propagate_constant).
+        self._propagated_input_cache = None
+        self._forward_cache = None
 
     def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
         """Apply the convolution.
@@ -53,11 +57,68 @@ class GCNLayer(Module):
                 f"adjacency has {adjacency.shape[0]} rows but features have "
                 f"{features.data.shape[0]} rows"
             )
+        backend = get_backend()
+        if backend.allow_fused and not features.requires_grad:
+            return self._propagate_constant(features, adjacency, backend)
         support = features @ self.weight
         out = F.sparse_matmul(adjacency, support)
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def _propagate_constant(self, features: Tensor, adjacency, backend) -> Tensor:
+        """``(adjacency @ features) @ W + b`` for a constant ``features`` input.
+
+        Two reuse opportunities apply when the input does not require
+        gradients (the first GNN layer, and every layer in evaluation mode):
+
+        * associativity — ``Â (X W) = (Â X) W``, and ``Â X`` is constant
+          across epochs for the input layer, so it is propagated once and
+          every subsequent forward is a single dense matmul;
+        * schedule — the trainer runs one gradient forward and one evaluation
+          forward per epoch, and the evaluation pass at epoch ``t`` sees the
+          same input/weight/bias arrays as the gradient pass at epoch
+          ``t + 1`` (optimizer steps rebind ``Parameter.data``), so the layer
+          output itself is reused across the pair.
+
+        Both memos key on object identity with strong references.  The
+        backward pass uses the folded adjoint ``W.grad = (Â X)^T grad``.
+        """
+        prepared = backend.prepare_matrix(adjacency)
+        cached_input = self._propagated_input_cache
+        if (
+            cached_input is None
+            or cached_input[0] is not prepared
+            or cached_input[1] is not features.data
+        ):
+            cached_input = (prepared, features.data, backend.spmm(prepared, features.data))
+            self._propagated_input_cache = cached_input
+        propagated = cached_input[2]
+
+        bias_data = self.bias.data if self.bias is not None else None
+        entry = self._forward_cache
+        if (
+            entry is None
+            or entry[0] is not propagated
+            or entry[1] is not self.weight.data
+            or entry[2] is not bias_data
+        ):
+            value = propagated @ self.weight.data
+            if bias_data is not None:
+                value = value + bias_data
+            entry = (propagated, self.weight.data, bias_data, value)
+            self._forward_cache = entry
+        value = entry[3]
+        weight, bias = self.weight, self.bias
+
+        def backward(grad: np.ndarray) -> None:
+            grad = _as_array(grad)
+            weight._accumulate(propagated.T @ grad)
+            if bias is not None:
+                bias._accumulate(grad)
+
+        parents = (weight,) if bias is None else (weight, bias)
+        return Tensor._make(value, parents, backward)
 
     def __repr__(self) -> str:
         return f"GCNLayer(in={self.in_features}, out={self.out_features})"

@@ -7,6 +7,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from ..nn import functional as F
+from ..nn.backend import get_backend
 from ..nn.tensor import Tensor
 
 
@@ -19,8 +20,7 @@ def mean_pool(embeddings: Tensor, segment_ids: np.ndarray, num_segments: int) ->
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     sums = F.scatter_add(embeddings, segment_ids, num_segments)
-    counts = np.zeros(num_segments, dtype=np.float64)
-    np.add.at(counts, segment_ids, 1.0)
+    counts = get_backend().segment_counts(segment_ids, num_segments)
     counts = np.maximum(counts, 1.0).reshape(-1, *([1] * (embeddings.data.ndim - 1)))
     return sums / Tensor(counts)
 
@@ -34,8 +34,7 @@ def max_pool(embeddings: Tensor, segment_ids: np.ndarray, num_segments: int) -> 
     """Element-wise maximum per segment (no gradient through ties beyond argmax)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     data = embeddings.data
-    out = np.full((num_segments,) + data.shape[1:], -np.inf)
-    np.maximum.at(out, segment_ids, data)
+    out = get_backend().segment_max(data, segment_ids, num_segments)
     out = np.where(np.isfinite(out), out, 0.0)
     argmax_mask = (data == out[segment_ids]).astype(np.float64)
 

@@ -9,6 +9,14 @@ supervised / unsupervised losses used in the evaluation.
 
 from . import functional
 from . import init
+from .backend import (
+    OpsBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .layers import MLP, Dropout, LeakyReLU, Linear, ReLU, Sigmoid, Tanh
 from .loss import (
     binary_cross_entropy_with_logits,
@@ -24,6 +32,12 @@ from .tensor import Tensor, as_tensor, concat, no_grad, ones, stack, zeros
 __all__ = [
     "functional",
     "init",
+    "OpsBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
     "Tensor",
     "as_tensor",
     "concat",

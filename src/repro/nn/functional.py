@@ -14,38 +14,40 @@ from typing import Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from .backend import PreparedMatrix, get_backend
 from .tensor import Tensor, _as_array
 
 
-def sparse_matmul(matrix: sp.spmatrix, tensor: Tensor) -> Tensor:
+def sparse_matmul(matrix: Union[sp.spmatrix, PreparedMatrix], tensor: Tensor) -> Tensor:
     """Multiply a constant sparse matrix by a dense tensor: ``matrix @ tensor``.
 
     The sparse matrix is treated as a constant (no gradient is computed for
     it); the gradient w.r.t. ``tensor`` is ``matrix.T @ grad``.  This is the
     workhorse of GCN message passing where ``matrix`` is the symmetrically
-    normalised adjacency.
+    normalised adjacency.  The kernels (including the transposed product of
+    the backward pass) are supplied by the active :mod:`repro.nn.backend`.
     """
-    if not sp.issparse(matrix):
+    if not (sp.issparse(matrix) or isinstance(matrix, PreparedMatrix)):
         raise TypeError("sparse_matmul expects a scipy sparse matrix")
-    csr = matrix.tocsr()
-    out_data = csr @ tensor.data
-    transposed = csr.T.tocsr()
+    backend = get_backend()
+    prepared = backend.prepare_matrix(matrix)
+    out_data = backend.spmm(prepared, tensor.data)
 
     def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(transposed @ _as_array(grad))
+        tensor._accumulate(backend.spmm_t(prepared, _as_array(grad)))
 
     return Tensor._make(out_data, (tensor,), backward)
 
 
 def gather(tensor: Tensor, index: np.ndarray) -> Tensor:
     """Select rows ``tensor[index]`` with duplicate-aware gradients."""
+    backend = get_backend()
     index = np.asarray(index, dtype=np.int64)
-    out_data = tensor.data[index]
+    out_data = backend.take_rows(tensor.data, index)
+    num_rows = tensor.data.shape[0]
 
     def backward(grad: np.ndarray) -> None:
-        full = np.zeros_like(tensor.data)
-        np.add.at(full, index, _as_array(grad))
-        tensor._accumulate(full)
+        tensor._accumulate(backend.scatter_rows(_as_array(grad), index, num_rows))
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -56,13 +58,12 @@ def scatter_add(tensor: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     ``out[k] = sum_{i : index[i] == k} tensor[i]``.  The gradient of a bucket
     flows back equally (as a copy) to every row that contributed to it.
     """
+    backend = get_backend()
     index = np.asarray(index, dtype=np.int64)
-    out_shape = (num_segments,) + tensor.data.shape[1:]
-    out_data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(out_data, index, tensor.data)
+    out_data = backend.segment_sum(tensor.data, index, num_segments)
 
     def backward(grad: np.ndarray) -> None:
-        tensor._accumulate(_as_array(grad)[index])
+        tensor._accumulate(backend.take_rows(_as_array(grad), index))
 
     return Tensor._make(out_data, (tensor,), backward)
 
@@ -78,12 +79,7 @@ def segment_softmax(values: Tensor, segment_ids: np.ndarray, num_segments: int) 
     # Subtract the per-segment max for numerical stability.  The max is a
     # constant shift within each segment: its gradient contribution cancels
     # exactly in the softmax, so treating it as a constant is correct.
-    if values.data.ndim == 1:
-        seg_max = np.full(num_segments, -np.inf)
-        np.maximum.at(seg_max, segment_ids, values.data)
-    else:
-        seg_max = np.full((num_segments,) + values.data.shape[1:], -np.inf)
-        np.maximum.at(seg_max, segment_ids, values.data)
+    seg_max = get_backend().segment_max(values.data, segment_ids, num_segments)
     seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
 
     shifted = values - Tensor(seg_max[segment_ids])
@@ -161,7 +157,6 @@ def embedding_mean(tensor: Tensor, index_groups: Union[np.ndarray, list]) -> Ten
     index_groups = np.asarray(index_groups, dtype=np.int64)
     num_segments = int(index_groups.max()) + 1 if index_groups.size else 0
     sums = scatter_add(tensor, index_groups, num_segments)
-    counts = np.zeros(num_segments, dtype=np.float64)
-    np.add.at(counts, index_groups, 1.0)
+    counts = get_backend().segment_counts(index_groups, num_segments)
     counts = np.maximum(counts, 1.0).reshape(-1, *([1] * (tensor.data.ndim - 1)))
     return sums / Tensor(counts)

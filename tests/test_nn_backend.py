@@ -1,0 +1,255 @@
+"""Tests for the pluggable compute backend (kernel parity, registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn.gat import GATLayer
+from repro.gnn.gcn import GCNLayer
+from repro.gnn.models import EncoderConfig, GNNEncoder, GraphInput
+from repro.nn import functional as F
+from repro.nn.backend import (
+    OpsBackend,
+    PreparedMatrix,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from repro.nn.tensor import Tensor
+
+BACKENDS = ("numpy", "reference", "dense")
+
+
+def _random_csr(rng, rows=12, cols=12, density=0.3):
+    mask = rng.random((rows, cols)) < density
+    values = rng.random((rows, cols)) * mask
+    return sp.csr_matrix(values)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert set(BACKENDS).issubset(set(available_backends()))
+
+    def test_use_backend_restores_previous(self):
+        before = get_backend()
+        with use_backend("reference") as backend:
+            assert get_backend() is backend
+            assert backend.name == "reference"
+        assert get_backend() is before
+
+    def test_set_backend_unknown_name(self):
+        with pytest.raises(KeyError):
+            set_backend("no-such-backend")
+
+    def test_register_custom_backend(self):
+        class Custom(OpsBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        with use_backend("custom-test") as backend:
+            assert isinstance(backend, Custom)
+
+    def test_allow_fused_flags(self):
+        with use_backend("reference") as backend:
+            assert backend.allow_fused is False
+        with use_backend("numpy") as backend:
+            assert backend.allow_fused is True
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_spmm_and_adjoint(self, name):
+        rng = np.random.default_rng(0)
+        matrix = _random_csr(rng)
+        dense = rng.random((12, 7))
+        reference_out = matrix @ dense
+        reference_adjoint = matrix.T @ dense
+        with use_backend(name) as backend:
+            np.testing.assert_allclose(backend.spmm(matrix, dense), reference_out, atol=1e-12)
+            np.testing.assert_allclose(
+                backend.spmm_t(matrix, dense), reference_adjoint, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("trailing", [(), (5,), (3, 4)])
+    def test_scatter_and_segment_ops(self, name, trailing):
+        rng = np.random.default_rng(1)
+        index = rng.integers(0, 6, size=40)
+        values = rng.random((40,) + trailing)
+        expected = np.zeros((6,) + trailing)
+        np.add.at(expected, index, values)
+        counts = np.bincount(index, minlength=6).astype(np.float64)
+        with use_backend(name) as backend:
+            np.testing.assert_allclose(
+                backend.segment_sum(values, index, 6), expected, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                backend.scatter_rows(values, index, 6), expected, atol=1e-12
+            )
+            np.testing.assert_allclose(backend.segment_counts(index, 6), counts)
+            np.testing.assert_array_equal(backend.take_rows(values, index[:5]), values[index[:5]])
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_empty_segments(self, name):
+        values = np.zeros((0, 3))
+        index = np.zeros(0, dtype=np.int64)
+        with use_backend(name) as backend:
+            out = backend.segment_sum(values, index, 4)
+            assert out.shape == (4, 3)
+            assert not out.any()
+
+
+class TestAutogradParity:
+    def _gcn_loss_and_grads(self, backend_name):
+        rng = np.random.default_rng(3)
+        adjacency = _random_csr(rng, 10, 10)
+        features = Tensor(rng.random((10, 6)))
+        with use_backend(backend_name):
+            layer = GCNLayer(6, 4, rng=np.random.default_rng(7))
+            out = layer(features, adjacency)
+            loss = (out * out).sum()
+            loss.backward()
+            return (
+                out.data.copy(),
+                loss.item(),
+                layer.weight.grad.copy(),
+                layer.bias.grad.copy(),
+            )
+
+    def test_gcn_dense_vs_sparse_parity(self):
+        out_ref, loss_ref, w_ref, b_ref = self._gcn_loss_and_grads("reference")
+        for name in ("numpy", "dense"):
+            out, loss, w_grad, b_grad = self._gcn_loss_and_grads(name)
+            np.testing.assert_allclose(out, out_ref, atol=1e-9)
+            assert abs(loss - loss_ref) < 1e-9
+            np.testing.assert_allclose(w_grad, w_ref, atol=1e-9)
+            np.testing.assert_allclose(b_grad, b_ref, atol=1e-9)
+
+    def _gat_outputs(self, backend_name):
+        rng = np.random.default_rng(4)
+        edge_index = np.stack(
+            [rng.integers(0, 8, size=30), rng.integers(0, 8, size=30)]
+        )
+        features = Tensor(rng.random((8, 5)), requires_grad=True)
+        with use_backend(backend_name):
+            layer = GATLayer(5, 3, num_heads=2, rng=np.random.default_rng(9))
+            out = layer(features, edge_index)
+            loss = (out * out).sum()
+            loss.backward()
+            return out.data.copy(), features.grad.copy(), layer.weight.grad.copy()
+
+    def test_gat_backend_parity(self):
+        out_ref, f_ref, w_ref = self._gat_outputs("reference")
+        for name in ("numpy", "dense"):
+            out, f_grad, w_grad = self._gat_outputs(name)
+            np.testing.assert_allclose(out, out_ref, atol=1e-9)
+            np.testing.assert_allclose(f_grad, f_ref, atol=1e-9)
+            np.testing.assert_allclose(w_grad, w_ref, atol=1e-9)
+
+    def test_encoder_parity_across_backends(self):
+        rng = np.random.default_rng(5)
+        adjacency = _random_csr(rng, 9, 9)
+        graph_input = GraphInput.from_adjacency(adjacency)
+        features_data = rng.random((9, 4))
+        outputs = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                encoder = GNNEncoder(
+                    4, EncoderConfig(num_layers=2, hidden_dim=6, output_dim=3, dropout=0.0),
+                    rng=np.random.default_rng(21),
+                )
+                outputs[name] = encoder(Tensor(features_data), graph_input).data
+        np.testing.assert_allclose(outputs["numpy"], outputs["reference"], atol=1e-9)
+        np.testing.assert_allclose(outputs["dense"], outputs["reference"], atol=1e-9)
+
+    def test_gather_scatter_gradients(self):
+        rng = np.random.default_rng(6)
+        index = rng.integers(0, 5, size=12)
+        grads = {}
+        for name in BACKENDS:
+            with use_backend(name):
+                source = Tensor(rng.random((5, 3)), requires_grad=True)
+                # Use a fixed data array per backend by re-seeding the values.
+                source.data[:] = np.arange(15, dtype=np.float64).reshape(5, 3)
+                gathered = F.gather(source, index)
+                pooled = F.scatter_add(gathered, index % 4, 4)
+                (pooled * pooled).sum().backward()
+                grads[name] = source.grad.copy()
+        np.testing.assert_allclose(grads["numpy"], grads["reference"], atol=1e-9)
+        np.testing.assert_allclose(grads["dense"], grads["reference"], atol=1e-9)
+
+
+class TestPreparedMatrices:
+    def test_sparse_matmul_rejects_dense_input(self):
+        with pytest.raises(TypeError):
+            F.sparse_matmul(np.eye(3), Tensor(np.ones((3, 2))))
+
+    def test_prepare_matrix_is_cached_by_identity(self):
+        matrix = _random_csr(np.random.default_rng(8))
+        with use_backend("numpy") as backend:
+            first = backend.prepare_matrix(matrix)
+            second = backend.prepare_matrix(matrix)
+            assert first is second
+            assert isinstance(first, PreparedMatrix)
+            # a PreparedMatrix passes through untouched
+            assert backend.prepare_matrix(first) is first
+
+    def test_sparse_matmul_accepts_prepared_matrix(self):
+        rng = np.random.default_rng(9)
+        matrix = _random_csr(rng)
+        prepared = PreparedMatrix(matrix)
+        tensor = Tensor(rng.random((12, 4)), requires_grad=True)
+        out = F.sparse_matmul(prepared, tensor)
+        np.testing.assert_allclose(out.data, matrix @ tensor.data, atol=1e-12)
+        out.sum().backward()
+        np.testing.assert_allclose(
+            tensor.grad, matrix.T @ np.ones((12, 4)), atol=1e-12
+        )
+
+
+class TestParameterRebindInvariant:
+    """The fused GCN memos key on `Parameter.data` object identity, which is
+    sound only while every weight update REBINDS the array instead of
+    mutating it in place.  These tests enforce that contract on all current
+    update paths so a future in-place optimizer cannot silently serve stale
+    cached activations."""
+
+    def test_optimizers_rebind_parameter_data(self):
+        from repro.nn.module import Parameter
+        from repro.nn.optim import SGD, Adam
+
+        for make_optimizer in (
+            lambda params: Adam(params, lr=0.1),
+            lambda params: SGD(params, lr=0.1),
+        ):
+            parameter = Parameter(np.ones((3, 2)))
+            parameter.grad = np.ones((3, 2))
+            optimizer = make_optimizer([parameter])
+            before = parameter.data
+            optimizer.step()
+            assert parameter.data is not before
+            np.testing.assert_array_equal(before, np.ones((3, 2)))
+
+    def test_load_state_dict_rebinds_parameter_data(self):
+        rng = np.random.default_rng(0)
+        layer = GCNLayer(4, 3, rng=rng)
+        state = layer.state_dict()
+        before = layer.weight.data
+        layer.load_state_dict(state)
+        assert layer.weight.data is not before
+
+    def test_stale_cache_detected_after_rebind(self):
+        # After any rebind, the fused forward must recompute, not reuse.
+        rng = np.random.default_rng(2)
+        adjacency = _random_csr(rng, 8, 8)
+        features = Tensor(rng.random((8, 4)))
+        with use_backend("numpy"):
+            layer = GCNLayer(4, 3, rng=np.random.default_rng(3))
+            first = layer(features, adjacency).data
+            layer.weight.data = layer.weight.data + 1.0  # rebind
+            second = layer(features, adjacency).data
+            assert not np.allclose(first, second)
