@@ -67,10 +67,12 @@ class TreeConstructor:
         config: TreeConstructorConfig = TreeConstructorConfig(),
         rng: Optional[np.random.Generator] = None,
         secure: bool = False,
+        mcmc_kernel: str = "auto",
     ) -> None:
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
         self.secure = secure
+        self.mcmc_kernel = mcmc_kernel
 
     def construct(self, environment: FederatedEnvironment) -> TreeConstructionResult:
         """Run the constructor over ``environment`` and install the assignment."""
@@ -99,6 +101,7 @@ class TreeConstructor:
                 bit_width=self.config.workload_comparison_bits,
                 secure=self.secure,
                 rng=self.rng,
+                kernel=self.mcmc_kernel,
             )
             mcmc_result = balancer.run(greedy_assignment)
             assignment = mcmc_result.assignment

@@ -68,6 +68,34 @@ class EmbeddingInitializationResult:
         return self.packed_receivers, self.packed_senders, self.packed_features
 
 
+@dataclass
+class SenderDraws:
+    """Epsilon-independent randomness of one sender's feature release."""
+
+    receivers: List[int]
+    bin_assignment: np.ndarray
+    uniforms: np.ndarray
+    workload: int
+
+
+@dataclass
+class LDPDrawsResult:
+    """All random draws of the feature exchange, shared across a sweep.
+
+    The 1-bit mechanism separates cleanly into (a) drawing the bin partition
+    and one uniform per released element — epsilon-independent — and (b)
+    thresholding those uniforms against the Eq. 26 probabilities — cheap and
+    epsilon-dependent.  Caching this object lets an epsilon sweep pay the
+    draws (and the RNG stream consumption) once per construction.
+    """
+
+    per_sender: Dict[int, SenderDraws]
+
+    def total_draws(self) -> int:
+        """Number of uniform draws held (released elements, pre-masking)."""
+        return sum(draws.uniforms.size for draws in self.per_sender.values())
+
+
 class LDPEmbeddingInitializer:
     """Runs the feature exchange of Section VI-A over an environment."""
 
@@ -84,17 +112,63 @@ class LDPEmbeddingInitializer:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.mechanism = OneBitMechanism(epsilon=self.epsilon, bounds=bounds)
 
-    def run(
+    @staticmethod
+    def _requesters(
+        environment: FederatedEnvironment, assignment: Assignment
+    ) -> Dict[int, List[int]]:
+        """Who requests my feature?  ``r`` requests ``s`` when ``s in N_r``."""
+        requesters: Dict[int, List[int]] = {
+            device_id: [] for device_id in environment.devices
+        }
+        for receiver, selected in assignment.selected.items():
+            for sender in selected:
+                requesters[int(sender)].append(int(receiver))
+        return requesters
+
+    def draw(
         self,
         environment: FederatedEnvironment,
         assignment: Assignment,
-    ) -> EmbeddingInitializationResult:
-        """Execute the exchange and return every receiver's recovered features.
+    ) -> LDPDrawsResult:
+        """Consume the exchange's randomness without touching epsilon.
 
-        ``assignment`` determines both the sender's workload ``wl(u)`` (its
-        per-element budget and bin count) and who needs whose feature: device
-        ``r`` needs the feature of ``s`` exactly when ``s`` is a selected
-        neighbour of ``r`` (``s`` appears as a leaf in ``T(r)``).
+        Draws the per-sender bin partitions and the uniforms the encoder
+        thresholds, in exactly the stream order of the eager exchange, so
+        ``threshold`` (for any epsilon) reproduces the one-shot ``run``
+        bit-for-bit.
+        """
+        per_sender: Dict[int, SenderDraws] = {}
+        for sender_id, receiver_ids in self._requesters(environment, assignment).items():
+            feature = environment.devices[sender_id].ego.feature
+            dimension = feature.shape[0]
+            # The sender's workload controls the privacy split; devices whose
+            # selection ended up empty (possible after trimming) fall back to
+            # a single bin so their feature can still be released once.
+            workload = max(assignment.workload(sender_id), 1)
+            partitioner = FeatureBinPartitioner(dimension, workload, rng=self.rng)
+            receivers_sorted = sorted(receiver_ids)
+            uniforms = (
+                self.rng.random((len(receivers_sorted), dimension))
+                if receivers_sorted
+                else np.zeros((0, dimension), dtype=np.float64)
+            )
+            per_sender[sender_id] = SenderDraws(
+                receivers=receivers_sorted,
+                bin_assignment=partitioner.assignment,
+                uniforms=uniforms,
+                workload=workload,
+            )
+        return LDPDrawsResult(per_sender=per_sender)
+
+    def threshold(
+        self,
+        environment: FederatedEnvironment,
+        draws: LDPDrawsResult,
+    ) -> EmbeddingInitializationResult:
+        """Threshold pre-drawn randomness into the released features.
+
+        Consumes no randomness; charges the exchange's communication and
+        compute exactly like the eager ``run``.
         """
         received: Dict[int, Dict[int, np.ndarray]] = {
             device_id: {} for device_id in environment.devices
@@ -102,38 +176,26 @@ class LDPEmbeddingInitializer:
         messages = 0
         total_bytes = 0
 
-        # Who requests my feature?  r requests s when s in N_r.
-        requesters: Dict[int, List[int]] = {device_id: [] for device_id in environment.devices}
-        for receiver, selected in assignment.selected.items():
-            for sender in selected:
-                requesters[int(sender)].append(int(receiver))
-
         packed_receivers: List[np.ndarray] = []
         packed_senders: List[np.ndarray] = []
         packed_features: List[np.ndarray] = []
 
-        for sender_id, receiver_ids in requesters.items():
-            sender_device = environment.devices[sender_id]
-            feature = sender_device.ego.feature
+        for sender_id, sender_draws in draws.per_sender.items():
+            feature = environment.devices[sender_id].ego.feature
             dimension = feature.shape[0]
-            # The sender's workload controls the privacy split; devices whose
-            # selection ended up empty (possible after trimming) fall back to
-            # a single bin so their feature can still be released once.
-            workload = max(assignment.workload(sender_id), 1)
-            partitioner = FeatureBinPartitioner(dimension, workload, rng=self.rng)
-
-            receivers_sorted = sorted(receiver_ids)
+            workload = sender_draws.workload
+            receivers_sorted = sender_draws.receivers
             if receivers_sorted:
                 # One encode over all receivers at once.  The batched call
-                # draws the same random numbers in the same (row-major) order
+                # thresholds the same uniforms in the same (row-major) order
                 # as one encode per receiver, so the released symbols are
                 # bit-for-bit identical to the sequential exchange.
                 ranks = np.arange(len(receivers_sorted)) % workload
-                masks = partitioner.assignment[None, :] == ranks[:, None]
+                masks = sender_draws.bin_assignment[None, :] == ranks[:, None]
                 encoded = self.mechanism.encode(
                     np.broadcast_to(feature, (len(receivers_sorted), dimension)),
                     workload=workload, dimension=dimension,
-                    selected=masks, rng=self.rng,
+                    selected=masks, uniforms=sender_draws.uniforms,
                 )
                 recovered = self.mechanism.recover(
                     encoded, workload=workload, dimension=dimension
@@ -158,7 +220,7 @@ class LDPEmbeddingInitializer:
                 )
                 packed_features.append(recovered)
             environment.charge_compute(
-                sender_id, cost=0.1 * len(receiver_ids), description="ldp-encoding"
+                sender_id, cost=0.1 * len(receivers_sorted), description="ldp-encoding"
             )
 
         return EmbeddingInitializationResult(
@@ -182,3 +244,18 @@ class LDPEmbeddingInitializer:
                 else np.zeros((0, 0), dtype=np.float64)
             ),
         )
+
+    def run(
+        self,
+        environment: FederatedEnvironment,
+        assignment: Assignment,
+    ) -> EmbeddingInitializationResult:
+        """Execute the exchange and return every receiver's recovered features.
+
+        ``assignment`` determines both the sender's workload ``wl(u)`` (its
+        per-element budget and bin count) and who needs whose feature: device
+        ``r`` needs the feature of ``s`` exactly when ``s`` is a selected
+        neighbour of ``r`` (``s`` appears as a leaf in ``T(r)``).  Equivalent
+        to :meth:`draw` followed by :meth:`threshold`.
+        """
+        return self.threshold(environment, self.draw(environment, assignment))

@@ -35,6 +35,9 @@ from ..federation.events import SERVER_ID, MessageKind
 from ..federation.simulator import FederatedEnvironment
 from .workload import Assignment
 
+#: Kernel selection values accepted by :class:`MCMCBalancer`.
+KERNELS = ("auto", "incremental", "reference")
+
 
 @dataclass
 class MCMCResult:
@@ -95,7 +98,6 @@ def find_max_workload_device(
             np.maximum.at(neighbor_max, sources, workload_array[destinations])
         total_neighbor_comparisons = int(sources.size)
         candidates = np.where(workload_array >= neighbor_max)[0].tolist()
-        environment.server._candidates.extend(int(c) for c in candidates)
         environment.ledger.send(
             sender=SERVER_ID,
             recipient=SERVER_ID,
@@ -138,7 +140,21 @@ def find_max_workload_device(
     if charge_ledger:
         _charge_comparison_traffic(environment, total_neighbor_comparisons + pairwise_comparisons)
 
-    chosen = environment.server.select_maximum(winners)
+    if protocol is None and not per_device_ledger:
+        # Aggregated path: the winner announcements collapse into a single
+        # coordination message (same bytes, one ledger entry) so thousands of
+        # MCMC iterations stay cheap to log — mirroring the candidate
+        # announcements above.
+        environment.ledger.send(
+            sender=SERVER_ID,
+            recipient=SERVER_ID,
+            kind=MessageKind.SERVER_COORDINATION,
+            size_bytes=len(winners),
+            description="alg3-maximum-announcements",
+        )
+        chosen = environment.server.pick_maximum(winners)
+    else:
+        chosen = environment.server.select_maximum(winners)
     environment.server.reset_candidates()
     return int(chosen)
 
@@ -169,12 +185,291 @@ def _charge_comparison_traffic(environment: FederatedEnvironment, count: int) ->
         recipient=SERVER_ID,
         kind=MessageKind.SECURE_COMPARISON,
         size_bytes=count * 8,
-        description=f"alg3-comparisons:{count}",
+        description="alg3-comparisons",
     )
 
 
+class _IncrementalBalancingKernel:
+    """Array-backed incremental state for the clear-mode balancing loop.
+
+    Holds the flat workload vector, a prebuilt CSR adjacency, and two derived
+    arrays maintained by deltas across transitions:
+
+    * ``neighbor_max[w]`` — the largest workload among ``w``'s ego-network
+      neighbours (the quantity every device compares itself against in Alg. 3
+      device operation 1);
+    * ``candidate[w]`` — whether ``w`` currently announces candidacy
+      (``workload[w] >= neighbor_max[w]``).
+
+    A k-step transition changes the workloads of at most ``k + 1`` vertices,
+    so :meth:`apply` touches only those vertices and their neighbourhoods —
+    O(degree of the moved vertices) instead of the O(devices + edges) full
+    rescan — and journals every overwritten entry so a rejected proposal is
+    reverted exactly.  The candidate set, the winner set, the transcript
+    charges and the server tie-breaks are identical to the from-scratch
+    evaluation, which is what the seeded equivalence tests pin.
+    """
+
+    def __init__(self, environment: FederatedEnvironment, assignment: Assignment) -> None:
+        self.environment = environment
+        self.assignment = assignment
+        n = environment.num_devices
+        self.num_devices = n
+        self.workload = assignment.workload_vector(n)
+        indptr, indices = environment.adjacency_csr()
+        # Adjacency as plain python lists: the delta updates below touch a
+        # few dozen entries per transition, where scalar list indexing beats
+        # numpy fancy-indexing overhead by a wide margin.
+        self._neighbors = [
+            indices[indptr[v]:indptr[v + 1]].tolist() for v in range(n)
+        ]
+        # Alg. 3 device operation 1 always evaluates one comparison per
+        # directed neighbour relation, whatever the workloads are.
+        self.neighbor_comparisons = int(indices.shape[0])
+        neighbor_max = np.zeros(n, dtype=np.int64)
+        neighbor_max_count = np.zeros(n, dtype=np.int64)
+        if indices.shape[0]:
+            sources, destinations = environment.directed_edges()
+            np.maximum.at(neighbor_max, sources, self.workload[destinations])
+            attains = self.workload[destinations] == neighbor_max[sources]
+            neighbor_max_count = np.bincount(
+                sources[attains], minlength=n
+            ).astype(np.int64)
+        # Maintained per-device maximum over the neighbours' workloads, plus
+        # its multiplicity: how many neighbours attain it.  A lowered
+        # workload then only forces a neighbourhood rescan where the moving
+        # device was the *unique* maximum — with the heavy workload ties of
+        # a balanced state, most decrements reduce the count and touch
+        # nothing else.
+        self.neighbor_max = neighbor_max.tolist()
+        self.neighbor_max_count = neighbor_max_count.tolist()
+        self.candidate = self.workload >= neighbor_max
+        self.objective = int(self.workload.max()) if n else 0
+        self._fallback_device = environment.device_ids()[0] if n else 0
+        self._pending: Optional[tuple] = None
+        # Columnar transcript buffers: the balancing loop appends plain ints
+        # here and flushes one BulkMessageEvent per description at the end of
+        # the run — identical traffic to the eager reference loop (compare
+        # with CommunicationLedger.message_records) without allocating one
+        # message object per protocol step.
+        self._candidate_rounds: List[int] = []
+        self._comparison_rounds: List[int] = []
+        self._comparison_counts: List[int] = []
+        self._winner_rounds: List[int] = []
+        self._winner_counts: List[int] = []
+        # Version-keyed memo of the Alg. 3 evaluation: apply() moves to a
+        # fresh version, revert() returns to the previous one, so the first
+        # call of an iteration always sees a state some earlier call already
+        # evaluated — the candidate scan is skipped while the per-call RNG
+        # consumption and transcript charges still happen.
+        self._version = 0
+        self._next_version = 0
+        self._winners_memo: dict = {}
+
+    @staticmethod
+    def supported(environment: FederatedEnvironment) -> bool:
+        """Contiguous ``0..n-1`` device ids (node-level partition layout)."""
+        ids = environment.device_ids()
+        return not ids or (ids[0] == 0 and ids[-1] == len(ids) - 1)
+
+    # ------------------------------------------------------------------ #
+    # Alg. 3 (incremental candidate/argmax evaluation)
+    # ------------------------------------------------------------------ #
+    def find_max_workload_device(
+        self, accountant: Optional[TranscriptAccountant], round_index: int
+    ) -> int:
+        """Alg. 3 over the maintained candidate set; O(candidates), not O(edges)."""
+        self._candidate_rounds.append(round_index)
+        memo = self._winners_memo.get(self._version)
+        if memo is not None:
+            winners, num_candidates = memo
+        else:
+            candidate_indices = np.flatnonzero(self.candidate)
+            num_candidates = int(candidate_indices.shape[0])
+            if num_candidates:
+                candidate_workloads = self.workload[candidate_indices]
+                winners = candidate_indices[
+                    candidate_workloads == candidate_workloads.max()
+                ].tolist()
+            else:
+                num_candidates = 1
+                winners = [self._fallback_device]
+            if len(self._winners_memo) > 8:
+                self._winners_memo.clear()
+            self._winners_memo[self._version] = (winners, num_candidates)
+        pairwise_comparisons = num_candidates * (num_candidates - 1)
+        if accountant is not None:
+            _charge_analytic_comparisons(
+                accountant, self.neighbor_comparisons + pairwise_comparisons
+            )
+        self._comparison_rounds.append(round_index)
+        self._comparison_counts.append(self.neighbor_comparisons + pairwise_comparisons)
+        self._winner_rounds.append(round_index)
+        self._winner_counts.append(len(winners))
+        return self.environment.server.pick_maximum(winners)
+
+    def flush_transcript(self) -> None:
+        """Emit the buffered Alg. 3 traffic as columnar ledger events."""
+        ledger = self.environment.ledger
+        if self._candidate_rounds:
+            calls = len(self._candidate_rounds)
+            server = np.full(calls, SERVER_ID, dtype=np.int64)
+            ledger.send_many(
+                server, server, MessageKind.SERVER_COORDINATION,
+                np.full(calls, self.num_devices, dtype=np.int64),
+                self._candidate_rounds,
+                description="alg3-candidate-announcements",
+            )
+            ledger.send_many(
+                server, server, MessageKind.SECURE_COMPARISON,
+                np.asarray(self._comparison_counts, dtype=np.int64) * 8,
+                self._comparison_rounds,
+                description="alg3-comparisons",
+            )
+            ledger.send_many(
+                server, server, MessageKind.SERVER_COORDINATION,
+                self._winner_counts,
+                self._winner_rounds,
+                description="alg3-maximum-announcements",
+            )
+        self._candidate_rounds = []
+        self._comparison_rounds = []
+        self._comparison_counts = []
+        self._winner_rounds = []
+        self._winner_counts = []
+
+    # ------------------------------------------------------------------ #
+    # Transitions (Eq. 17) as journaled delta updates
+    # ------------------------------------------------------------------ #
+    def _update_maxima(self, increased: List[tuple], decreased: List[tuple]) -> List[int]:
+        """Propagate workload deltas into ``neighbor_max`` / its multiplicity.
+
+        ``increased`` holds ``(vertex, new_value)`` pairs, ``decreased`` holds
+        ``(vertex, old_value)`` pairs; the workload vector itself must already
+        carry the new values.  Decrements run in two phases (count first, then
+        rescan the neighbourhoods whose count reached zero) so that several
+        simultaneous decrements around one vertex each retire exactly one
+        attainment of the *old* maximum.  Returns the vertices whose maximum
+        (not merely its multiplicity) changed.
+        """
+        workload = self.workload
+        neighbors = self._neighbors
+        neighbor_max = self.neighbor_max
+        neighbor_max_count = self.neighbor_max_count
+        touched: List[int] = []
+
+        # Raised workloads can only raise (or join) the maxima around them.
+        for vertex, new_value in increased:
+            for w in neighbors[vertex]:
+                maximum = neighbor_max[w]
+                if maximum < new_value:
+                    neighbor_max[w] = new_value
+                    neighbor_max_count[w] = 1
+                    touched.append(w)
+                elif maximum == new_value:
+                    neighbor_max_count[w] += 1
+
+        # A lowered workload retires one attainment wherever the vertex was
+        # at the (old) maximum; only neighbourhoods left with no attainment
+        # are rescanned — with the heavy workload ties of a balanced state,
+        # most decrements stop at the count.  With a single lowered vertex
+        # (every apply) the rescan can run inline; several simultaneous
+        # decrements (revert of a k-step move) must retire all attainments
+        # of the old maxima before any rescan, hence the two-phase branch.
+        if len(decreased) == 1:
+            vertex, old_value = decreased[0]
+            rescan = []
+            for w in neighbors[vertex]:
+                if neighbor_max[w] == old_value:
+                    count = neighbor_max_count[w]
+                    if count > 1:
+                        neighbor_max_count[w] = count - 1
+                    else:
+                        rescan.append(w)
+        else:
+            marked: List[int] = []
+            for vertex, old_value in decreased:
+                for w in neighbors[vertex]:
+                    if neighbor_max[w] == old_value:
+                        neighbor_max_count[w] -= 1
+                        marked.append(w)
+            rescan = [w for w in marked if neighbor_max_count[w] == 0]
+        for w in rescan:
+            maximum = 0
+            attained = 0
+            for v in neighbors[w]:
+                value = workload[v]
+                if value > maximum:
+                    maximum, attained = value, 1
+                elif value == maximum:
+                    attained += 1
+            neighbor_max[w] = int(maximum)
+            neighbor_max_count[w] = attained
+            touched.append(w)
+        return touched
+
+    def _refresh_candidates(self, vertices: List[int]) -> None:
+        """Re-evaluate candidacy where a workload or a maximum changed."""
+        workload = self.workload
+        neighbor_max = self.neighbor_max
+        candidate = self.candidate
+        for w in vertices:
+            candidate[w] = workload[w] >= neighbor_max[w]
+
+    def apply(self, source: int, targets: List[int]) -> None:
+        """Apply the transition in place; O(degree of the moved vertices)."""
+        if self._pending is not None:
+            raise RuntimeError("a proposal is already pending")
+        source = int(source)
+        old_source_workload = int(self.workload[source])
+        record = self.assignment.apply_transfer(source, targets)
+        increased = [
+            (target, int(self.workload[target])) for target, added in record if added
+        ]
+        touched = self._update_maxima(increased, [(source, old_source_workload)])
+        self._refresh_candidates(
+            [source] + [target for target, _ in increased] + touched
+        )
+        self._pending = (source, record, self._version)
+        self._next_version += 1
+        self._version = self._next_version
+
+    def commit(self, objective_after: int) -> None:
+        """Accept the pending proposal (the deltas simply stay applied)."""
+        self._pending = None
+        self.objective = int(objective_after)
+
+    def revert(self) -> None:
+        """Reject the pending proposal by applying the inverse delta."""
+        if self._pending is None:
+            raise RuntimeError("no pending proposal to revert")
+        source, record, previous_version = self._pending
+        # Pre-undo values of the moved neighbours are the "old" side of the
+        # inverse delta; the source's restored workload is its "new" side.
+        decreased = [
+            (target, int(self.workload[target])) for target, added in record if added
+        ]
+        self.assignment.undo_transfer(source, record)
+        touched = self._update_maxima(
+            [(source, int(self.workload[source]))], decreased
+        )
+        self._refresh_candidates(
+            [source] + [target for target, _ in decreased] + touched
+        )
+        self._version = previous_version
+        self._pending = None
+
+
 class MCMCBalancer:
-    """Runs Alg. 2 on a federated environment."""
+    """Runs Alg. 2 on a federated environment.
+
+    ``kernel`` selects the inner-loop implementation: ``"incremental"`` (the
+    array-backed delta kernel), ``"reference"`` (the from-scratch loop the
+    equivalence tests pin against) or ``"auto"`` (incremental whenever it
+    applies: clear mode over contiguous device ids).  Secure mode always runs
+    the reference loop — its message-level protocol simulation is inherently
+    per-comparison.
+    """
 
     def __init__(
         self,
@@ -184,14 +479,18 @@ class MCMCBalancer:
         bit_width: int = 24,
         secure: bool = False,
         rng: Optional[np.random.Generator] = None,
+        kernel: str = "auto",
     ) -> None:
         if iterations < 0:
             raise ValueError("iterations must be non-negative")
+        if kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
         self.environment = environment
         self.iterations = iterations
         self.accountant = accountant if accountant is not None else TranscriptAccountant()
         self.secure = secure
         self.bit_width = bit_width
+        self.kernel = kernel
         self.rng = rng if rng is not None else environment.rng
         self._protocol = (
             WorkloadComparisonProtocol(bit_width=bit_width, accountant=self.accountant, rng=self.rng)
@@ -204,6 +503,125 @@ class MCMCBalancer:
     # ------------------------------------------------------------------ #
     def run(self, initial: Assignment) -> MCMCResult:
         """Execute the MCMC iterations starting from ``initial``."""
+        incremental_ok = (
+            self._protocol is None
+            and _IncrementalBalancingKernel.supported(self.environment)
+        )
+        if self.kernel == "incremental" and not incremental_ok:
+            raise ValueError(
+                "incremental kernel requires clear mode and contiguous device ids"
+            )
+        if incremental_ok and self.kernel in ("auto", "incremental"):
+            return self._run_incremental(initial)
+        return self._run_reference(initial)
+
+    def _run_incremental(self, initial: Assignment) -> MCMCResult:
+        """Alg. 2 over the delta kernel; bit-identical to the reference loop."""
+        current = initial.copy()
+        kernel = _IncrementalBalancingKernel(self.environment, current)
+        history = [kernel.objective]
+        accepted = 0
+        ledger = self.environment.ledger
+        rng = self.rng
+        round_index = ledger.current_round
+        # Columnar buffers for the device-to-device traffic of the loop; the
+        # same messages environment.exchange would log, flushed as bulk
+        # events after the last iteration.
+        proposal_senders: List[int] = []
+        proposal_recipients: List[int] = []
+        proposal_rounds: List[int] = []
+        objective_senders: List[int] = []
+        objective_recipients: List[int] = []
+        objective_rounds: List[int] = []
+        accept_senders: List[int] = []
+        accept_recipients: List[int] = []
+        accept_rounds: List[int] = []
+
+        for iteration in range(self.iterations):
+            # Line 2: device with the largest workload under X_t.
+            heaviest = kernel.find_max_workload_device(self.accountant, round_index)
+            source_neighbors = sorted(current.selected.get(heaviest, set()))
+            if not source_neighbors:
+                # The reference loop `continue`s past its next_round() too,
+                # so the round counter must not advance on this branch.
+                history.append(kernel.objective)
+                continue
+
+            # Lines 3-4: sample the step size k and the k neighbours to move.
+            step_limit = max(1, int(round(math.log(len(source_neighbors)))) or 1)
+            step = int(rng.integers(1, step_limit + 1))
+            step = min(step, len(source_neighbors))
+            chosen = rng.choice(source_neighbors, size=step, replace=False)
+            targets = [int(v) for v in chosen]
+
+            # Line 5: form X'_t in place (O(k) delta, revertible).
+            objective_before = kernel.objective
+            kernel.apply(heaviest, targets)
+            for target in targets:
+                proposal_senders.append(heaviest)
+                proposal_recipients.append(target)
+                proposal_rounds.append(round_index)
+
+            # Line 6: device with the largest workload under X'_t.
+            heaviest_after = kernel.find_max_workload_device(self.accountant, round_index)
+
+            # Line 7: f(X_t) - f(X'_t); the winner of Alg. 3 attains the
+            # maximum, so both objectives are single workload lookups.
+            objective_after = int(kernel.workload[heaviest_after])
+            difference = objective_before - objective_after
+            _charge_analytic_comparisons(self.accountant, 1, bit_width=self.bit_width)
+            objective_senders.append(heaviest)
+            objective_recipients.append(heaviest_after)
+            objective_rounds.append(round_index)
+
+            # Line 8: Metropolis-Hastings acceptance (Eq. 18).
+            acceptance_probability = min(1.0, math.exp(min(difference, 50)))
+            if rng.random() < acceptance_probability:
+                kernel.commit(objective_after)
+                accepted += 1
+                # Line 9: the source device informs the moved neighbours.
+                for target in targets:
+                    accept_senders.append(heaviest)
+                    accept_recipients.append(target)
+                    accept_rounds.append(round_index)
+            else:
+                kernel.revert()
+            history.append(kernel.objective)
+            round_index += 1
+
+        ledger.current_round = round_index
+        kernel.flush_transcript()
+        if proposal_senders:
+            ledger.send_many(
+                proposal_senders, proposal_recipients, MessageKind.SERVER_COORDINATION,
+                np.full(len(proposal_senders), 8, dtype=np.int64), proposal_rounds,
+                description="mcmc-transition-proposal",
+            )
+        if objective_senders:
+            ledger.send_many(
+                objective_senders, objective_recipients, MessageKind.SECURE_COMPARISON,
+                np.full(
+                    len(objective_senders), self.bit_width // 8 or 1, dtype=np.int64
+                ),
+                objective_rounds,
+                description="mcmc-objective-difference",
+            )
+        if accept_senders:
+            ledger.send_many(
+                accept_senders, accept_recipients, MessageKind.SERVER_COORDINATION,
+                np.full(len(accept_senders), 8, dtype=np.int64), accept_rounds,
+                description="mcmc-accept-notification",
+            )
+        self.environment.apply_assignment(current.as_lists())
+        return MCMCResult(
+            assignment=current,
+            objective_history=history,
+            accepted_transitions=accepted,
+            iterations=self.iterations,
+        )
+
+    def _run_reference(self, initial: Assignment) -> MCMCResult:
+        """The from-scratch loop (secure mode and the equivalence baseline)."""
         current = initial.copy()
         history = [current.objective()]
         accepted = 0

@@ -20,6 +20,7 @@ its own tree, its own leaf-embedding exchanges, its own loss share.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -69,6 +70,15 @@ class TreeBatch:
     leaf_rows: np.ndarray
     leaf_vertices: np.ndarray
     device_slices: Dict[int, Tuple[int, int]]
+    # Refill recipe for the epsilon-dependent feature rows: ``neighbor_rows``
+    # are the feature-matrix rows carrying LDP-recovered features, received
+    # by ``neighbor_receivers`` from ``neighbor_senders``.  Everything else
+    # in the batch (structure, centre features) is epsilon-independent, so a
+    # cached batch can be re-bound to another sweep point's LDP exchange via
+    # :meth:`with_initialization` instead of being rebuilt.
+    neighbor_rows: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    neighbor_receivers: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    neighbor_senders: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
     _pool_matrix: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
 
     def mean_pool_matrix(self) -> sp.csr_matrix:
@@ -87,6 +97,29 @@ class TreeBatch:
                 shape=(self.num_vertices, self.num_nodes),
             )
         return self._pool_matrix
+
+    def with_initialization(
+        self, initialization: EmbeddingInitializationResult
+    ) -> "TreeBatch":
+        """Re-bind the batch to another LDP exchange of the same construction.
+
+        Returns a batch sharing every epsilon-independent array (adjacency,
+        edge index, leaf maps, pool matrix) with ``self``, with a fresh
+        feature matrix whose neighbour-leaf rows are filled from
+        ``initialization`` — exactly the rows a from-scratch build would
+        produce for it.
+        """
+        if self.neighbor_rows is None:
+            raise ValueError("batch was built without a neighbour-refill recipe")
+        features = self.features.copy()
+        if self.neighbor_rows.shape[0]:
+            features[self.neighbor_rows] = self._lookup_received_features(
+                initialization,
+                self.neighbor_receivers,
+                self.neighbor_senders,
+                features.shape[1],
+            )
+        return dataclasses.replace(self, features=features)
 
     @classmethod
     def build(
@@ -236,6 +269,9 @@ class TreeBatch:
             leaf_rows=leaf_rows,
             leaf_vertices=np.searchsorted(ids, leaf_vertices),
             device_slices=device_slices,
+            neighbor_rows=np.asarray(neighbor_rows, dtype=np.int64),
+            neighbor_receivers=np.asarray(pair_owners, dtype=np.int64),
+            neighbor_senders=np.asarray(flat_neighbors, dtype=np.int64),
         )
 
     @staticmethod
@@ -289,6 +325,9 @@ class TreeBatch:
         cols: List[int] = []
         leaf_rows: List[int] = []
         leaf_vertices: List[int] = []
+        neighbor_rows: List[int] = []
+        neighbor_receivers: List[int] = []
+        neighbor_senders: List[int] = []
         offset = 0
         feature_blocks: List[np.ndarray] = []
 
@@ -314,6 +353,9 @@ class TreeBatch:
                         # trimming corner case); use the uninformative midpoint.
                         received = np.full(feature_dim, 0.5)
                     block[node.local_id] = received
+                    neighbor_rows.append(global_row)
+                    neighbor_receivers.append(device_id)
+                    neighbor_senders.append(int(node.vertex))
             feature_blocks.append(block)
 
             for u, v in local_graph.edges:
@@ -348,6 +390,9 @@ class TreeBatch:
             leaf_rows=np.asarray(leaf_rows, dtype=np.int64),
             leaf_vertices=np.searchsorted(ids, np.asarray(leaf_vertices, dtype=np.int64)),
             device_slices=device_slices,
+            neighbor_rows=np.asarray(neighbor_rows, dtype=np.int64),
+            neighbor_receivers=np.asarray(neighbor_receivers, dtype=np.int64),
+            neighbor_senders=np.asarray(neighbor_senders, dtype=np.int64),
         )
 
 

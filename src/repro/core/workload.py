@@ -10,12 +10,18 @@ statistics used by the evaluation (Fig. 7 CDF).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..graph.graph import Graph
+
+# One reversed step of a k-step transition: ``(target, added)`` pairs in
+# application order, where ``added`` records whether ``source`` was newly
+# inserted into ``N_target`` (it may already have been there when both
+# endpoints kept the edge).
+TransferRecord = List[Tuple[int, bool]]
 
 
 @dataclass
@@ -23,6 +29,13 @@ class Assignment:
     """A candidate solution of the workload-balancing problem."""
 
     selected: Dict[int, Set[int]]
+    # Flat ``int64`` workload vector indexed by vertex id, maintained
+    # incrementally by :meth:`apply_transfer` / :meth:`undo_transfer`.  Built
+    # lazily by :meth:`workload_vector`; private to the balancing hot path —
+    # callers that mutate ``selected`` directly must not rely on it.
+    _workload_vector: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -64,6 +77,21 @@ class Assignment:
         for vertex, neighbors in self.selected.items():
             array[vertex] = len(neighbors)
         return array
+
+    def workload_vector(self, size: int) -> np.ndarray:
+        """Maintained flat workload vector of length ``size``.
+
+        Unlike :meth:`workload_array` (a fresh copy per call) the returned
+        array is owned by the assignment and updated in place by
+        :meth:`apply_transfer` / :meth:`undo_transfer`, so the balancing
+        kernel can hold one reference for its whole run.
+        """
+        if self._workload_vector is None or self._workload_vector.shape[0] != size:
+            vector = np.zeros(size, dtype=np.int64)
+            for vertex, neighbors in self.selected.items():
+                vector[vertex] = len(neighbors)
+            self._workload_vector = vector
+        return self._workload_vector
 
     def objective(self) -> int:
         """``f(X) = max_u |N_u|`` — the min-max objective of Eq. 10."""
@@ -118,13 +146,48 @@ class Assignment:
         preserved by construction.
         """
         result = self.copy()
+        result.apply_transfer(source, targets)
+        return result
+
+    def apply_transfer(self, source: int, targets: Sequence[int]) -> TransferRecord:
+        """Apply the transition of Eq. 17 *in place*, in O(k).
+
+        Returns an undo record for :meth:`undo_transfer`.  The maintained
+        workload vector (when built) is updated by deltas, so the balancing
+        kernel never rebuilds per-device counts.
+        """
+        source = int(source)
+        source_selected = self.selected.get(source)
+        record: TransferRecord = []
+        vector = self._workload_vector
         for target in targets:
             target = int(target)
-            if target not in result.selected.get(source, set()):
+            if source_selected is None or target not in source_selected:
                 raise ValueError(f"vertex {target} is not selected by device {source}")
-            result.selected[source].discard(target)
-            result.selected.setdefault(target, set()).add(int(source))
-        return result
+            source_selected.discard(target)
+            target_selected = self.selected.setdefault(target, set())
+            added = source not in target_selected
+            if added:
+                target_selected.add(source)
+                if vector is not None:
+                    vector[target] += 1
+            if vector is not None:
+                vector[source] -= 1
+            record.append((target, added))
+        return record
+
+    def undo_transfer(self, source: int, record: TransferRecord) -> None:
+        """Revert an :meth:`apply_transfer` given its undo record."""
+        source = int(source)
+        vector = self._workload_vector
+        for target, added in reversed(record):
+            if added:
+                self.selected[target].discard(source)
+                if vector is not None:
+                    vector[target] -= 1
+            self.selected[source].add(target)
+            if vector is not None:
+                vector[source] += 1
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -87,6 +87,7 @@ class OneBitMechanism:
         dimension: Optional[int] = None,
         selected: Optional[np.ndarray] = None,
         rng: Optional[np.random.Generator] = None,
+        uniforms: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Encode a feature vector into ``{0, 0.5, 1}^d``.
 
@@ -103,13 +104,22 @@ class OneBitMechanism:
             to the neutral symbol 0.5.  ``None`` encodes every element.
         rng:
             Source of randomness.
+        uniforms:
+            Pre-drawn uniforms of ``values``' shape to threshold instead of
+            drawing from ``rng``.  The draws are epsilon-independent, so an
+            epsilon sweep can draw once and re-threshold per point —
+            bit-identical to drawing inside each encode.
         """
-        rng = rng if rng is not None else np.random.default_rng()
         values = np.asarray(values, dtype=np.float64)
         dimension = int(dimension) if dimension is not None else values.shape[-1]
         epsilon_prime = self.per_element_epsilon(workload, dimension)
         probability = self.probability_one(values, epsilon_prime)
-        bits = (rng.random(values.shape) < probability).astype(np.float64)
+        if uniforms is None:
+            rng = rng if rng is not None else np.random.default_rng()
+            uniforms = rng.random(values.shape)
+        elif uniforms.shape != values.shape:
+            raise ValueError("uniforms must have the same shape as values")
+        bits = (uniforms < probability).astype(np.float64)
         if selected is None:
             return bits
         selected = np.asarray(selected, dtype=bool)

@@ -5,10 +5,11 @@ and the replay semantics that make cache hits bit-for-bit identical to cold
 runs.
 """
 
-from .fingerprint import fingerprint_array, fingerprint_graph, fingerprint_value
+from .fingerprint import fingerprint_array, fingerprint_graph, fingerprint_value, stage_key
 from .pipeline import Pipeline, build_lumos_pipeline
 from .stages import (
     EmbeddingInitStage,
+    LDPDrawsStage,
     PartitionStage,
     PipelineContext,
     Stage,
@@ -18,6 +19,7 @@ from .stages import (
 )
 from .store import (
     ArtifactStore,
+    DiskSpillStore,
     StageStats,
     StoredArtifact,
     configure_default_store,
@@ -26,6 +28,7 @@ from .store import (
 
 __all__ = [
     "ArtifactStore",
+    "DiskSpillStore",
     "StageStats",
     "StoredArtifact",
     "configure_default_store",
@@ -36,10 +39,12 @@ __all__ = [
     "Stage",
     "PartitionStage",
     "TreeConstructionStage",
+    "LDPDrawsStage",
     "EmbeddingInitStage",
     "TreeBatchStage",
     "lumos_stages",
     "fingerprint_array",
     "fingerprint_graph",
     "fingerprint_value",
+    "stage_key",
 ]

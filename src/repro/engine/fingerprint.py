@@ -52,6 +52,18 @@ def fingerprint_value(value: Any) -> str:
     return _hash_bytes(_canonical(value).encode())
 
 
+def stage_key(*parts: Any) -> str:
+    """Join key components into a stage cache key (``/``-separated).
+
+    Keys must contain *every* input that changes the stage's output and
+    nothing else — an extra component needlessly busts the cache across
+    sweeps (the pre-PR ``tree_batch`` keyed on epsilon was exactly that bug),
+    a missing one aliases different results.  Centralising the join keeps the
+    separator discipline in one place.
+    """
+    return "/".join(str(part) for part in parts)
+
+
 def _canonical(value: Any) -> str:
     """Render ``value`` into a canonical string for hashing."""
     if value is None or isinstance(value, (bool, int, str)):

@@ -62,15 +62,19 @@ class Pipeline:
         artifact = self.store.get(key)
         if artifact is not None:
             self.store.record_hit(stage.name)
-            stage.replay(context, artifact.value)
+            # A stage may derive a per-run value from the cached one (e.g.
+            # the tree batch re-binds the current run's LDP features); when
+            # replay returns None the cached value is used as-is.
+            replayed = stage.replay(context, artifact.value)
             self._replay_side_effects(context, artifact)
+            value = artifact.value if replayed is None else replayed
         else:
             self.store.record_miss(stage.name)
             marks = self._ledger_marks(context)
             value = stage.compute(context)
             artifact = self._capture(context, value, marks)
             self.store.put(key, artifact)
-        context.artifacts[stage.name] = artifact.value
+        context.artifacts[stage.name] = value
         context.keys[stage.name] = key
 
     # ------------------------------------------------------------------ #
@@ -80,22 +84,30 @@ class Pipeline:
     def _ledger_marks(context: PipelineContext):
         environment = context.environment
         if environment is None:
-            return (0, 0, 0, 0)
+            return (0, 0, 0, 0, 0)
         ledger = environment.ledger
         return (
             len(ledger.messages),
             len(ledger.compute_events),
             len(ledger.bulk_compute_events),
+            len(ledger.bulk_message_events),
             ledger.current_round,
         )
 
     @staticmethod
     def _capture(context: PipelineContext, value, marks) -> StoredArtifact:
-        messages_before, events_before, bulk_before, round_before = marks
+        (
+            messages_before,
+            events_before,
+            bulk_before,
+            bulk_messages_before,
+            round_before,
+        ) = marks
         ledger = context.environment.ledger if context.environment is not None else None
         messages: tuple = ()
         compute_events: tuple = ()
         bulk_events: tuple = ()
+        bulk_messages: tuple = ()
         rounds_delta = 0
         if ledger is not None:
             messages = tuple(ledger.messages[messages_before:])
@@ -104,6 +116,7 @@ class Pipeline:
                 for event in ledger.compute_events[events_before:]
             )
             bulk_events = tuple(ledger.bulk_compute_events[bulk_before:])
+            bulk_messages = tuple(ledger.bulk_message_events[bulk_messages_before:])
             rounds_delta = ledger.current_round - round_before
         return StoredArtifact(
             value=value,
@@ -111,6 +124,7 @@ class Pipeline:
             messages=messages,
             compute_events=compute_events,
             bulk_events=bulk_events,
+            bulk_messages=bulk_messages,
             rounds_delta=rounds_delta,
             base_round=round_before,
         )
@@ -142,10 +156,15 @@ class Pipeline:
         )
         if offset == 0:
             ledger.bulk_compute_events.extend(artifact.bulk_events)
+            ledger.bulk_message_events.extend(artifact.bulk_messages)
         else:
             ledger.bulk_compute_events.extend(
                 dataclasses.replace(event, round_index=event.round_index + offset)
                 for event in artifact.bulk_events
+            )
+            ledger.bulk_message_events.extend(
+                dataclasses.replace(event, round_indices=event.round_indices + offset)
+                for event in artifact.bulk_messages
             )
         ledger.current_round += artifact.rounds_delta
 

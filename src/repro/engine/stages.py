@@ -26,7 +26,7 @@ import numpy as np
 from ..federation.simulator import FederatedEnvironment
 from ..graph.ego import partition_node_level
 from ..graph.graph import Graph
-from .fingerprint import fingerprint_graph, fingerprint_value
+from .fingerprint import fingerprint_graph, fingerprint_value, stage_key
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from ..core.config import LumosConfig
@@ -65,8 +65,13 @@ class Stage:
     def compute(self, context: PipelineContext) -> Any:
         raise NotImplementedError
 
-    def replay(self, context: PipelineContext, value: Any) -> None:
-        """Install a cached ``value`` into ``context`` (default: nothing)."""
+    def replay(self, context: PipelineContext, value: Any) -> Any:
+        """Install a cached ``value`` into ``context``.
+
+        May return a replacement value derived from the cached one for this
+        run (e.g. the tree batch re-bound to the current LDP exchange);
+        returning ``None`` keeps the cached value.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
@@ -84,7 +89,11 @@ class PartitionStage(Stage):
     name = "partition"
 
     def key(self, context: PipelineContext) -> str:
-        return f"partition/{fingerprint_graph(context.graph)}/seed={context.config.seed}"
+        return stage_key(
+            "partition",
+            fingerprint_graph(context.graph),
+            f"seed={context.config.seed}",
+        )
 
     def compute(self, context: PipelineContext) -> Any:
         partition = partition_node_level(context.graph)
@@ -103,9 +112,10 @@ class TreeConstructionStage(Stage):
     name = "construction"
 
     def key(self, context: PipelineContext) -> str:
-        return (
-            f"construction/{context.keys['partition']}/"
-            f"{fingerprint_value(context.config.constructor)}"
+        return stage_key(
+            "construction",
+            context.keys["partition"],
+            fingerprint_value(context.config.constructor),
         )
 
     def compute(self, context: PipelineContext) -> Any:
@@ -118,15 +128,44 @@ class TreeConstructionStage(Stage):
         context.environment.apply_assignment(value.assignment.as_lists())
 
 
+class LDPDrawsStage(Stage):
+    """Epsilon-independent randomness of the LDP feature exchange.
+
+    The 1-bit mechanism's bin partitions and uniform draws depend only on
+    the construction (who sends to whom, with what workload) and on the RNG
+    stream — not on epsilon.  Splitting them out makes an epsilon sweep pay
+    the draws once; the per-point ``ldp_init`` stage is a cheap threshold.
+    """
+
+    name = "ldp_draws"
+
+    def key(self, context: PipelineContext) -> str:
+        return stage_key("ldpdraws", context.keys["construction"])
+
+    def compute(self, context: PipelineContext) -> Any:
+        from ..core.embedding_init import LDPEmbeddingInitializer
+        from ..crypto.ldp import FeatureBounds
+
+        initializer = LDPEmbeddingInitializer(
+            epsilon=context.config.trainer.epsilon,
+            bounds=FeatureBounds(0.0, 1.0),
+            rng=context.rng,
+        )
+        return initializer.draw(
+            context.environment, context.artifacts["construction"].assignment
+        )
+
+
 class EmbeddingInitStage(Stage):
-    """LDP feature exchange (depends on the construction and on epsilon)."""
+    """LDP feature exchange: thresholds the shared draws for one epsilon."""
 
     name = "ldp_init"
 
     def key(self, context: PipelineContext) -> str:
-        return (
-            f"ldp/{context.keys['construction']}/"
-            f"epsilon={float(context.config.trainer.epsilon)!r}"
+        return stage_key(
+            "ldp",
+            context.keys["ldp_draws"],
+            f"epsilon={float(context.config.trainer.epsilon)!r}",
         )
 
     def compute(self, context: PipelineContext) -> Any:
@@ -138,8 +177,8 @@ class EmbeddingInitStage(Stage):
             bounds=FeatureBounds(0.0, 1.0),
             rng=context.rng,
         )
-        return initializer.run(
-            context.environment, context.artifacts["construction"].assignment
+        return initializer.threshold(
+            context.environment, context.artifacts["ldp_draws"]
         )
 
     def replay(self, context: PipelineContext, value: Any) -> None:
@@ -151,12 +190,20 @@ class EmbeddingInitStage(Stage):
 
 
 class TreeBatchStage(Stage):
-    """Assembly of the block-diagonal union graph the trainer runs on."""
+    """Assembly of the block-diagonal union graph the trainer runs on.
+
+    Keyed on the construction only — the LDP features enter the batch as a
+    plain row-fill, so across an epsilon sweep the cached structure is
+    re-bound to the current point's exchange on replay instead of being
+    reassembled (``TreeBatch.with_initialization``).
+    """
 
     name = "tree_batch"
 
     def key(self, context: PipelineContext) -> str:
-        return f"batch/{context.keys['ldp_init']}/d={context.graph.num_features}"
+        return stage_key(
+            "batch", context.keys["construction"], f"d={context.graph.num_features}"
+        )
 
     def compute(self, context: PipelineContext) -> Any:
         from ..core.trainer import TreeBatch
@@ -168,7 +215,16 @@ class TreeBatchStage(Stage):
             context.graph.num_features,
         )
 
+    def replay(self, context: PipelineContext, value: Any) -> Any:
+        return value.with_initialization(context.artifacts["ldp_init"])
+
 
 def lumos_stages() -> list:
     """The canonical stage sequence of a Lumos deployment."""
-    return [PartitionStage(), TreeConstructionStage(), EmbeddingInitStage(), TreeBatchStage()]
+    return [
+        PartitionStage(),
+        TreeConstructionStage(),
+        LDPDrawsStage(),
+        EmbeddingInitStage(),
+        TreeBatchStage(),
+    ]

@@ -14,9 +14,16 @@ once").
 
 from __future__ import annotations
 
+import hashlib
+import io
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass
@@ -49,6 +56,7 @@ class StoredArtifact:
     messages: Tuple = ()
     compute_events: Tuple = ()
     bulk_events: Tuple = ()
+    bulk_messages: Tuple = ()
     rounds_delta: int = 0
     base_round: int = 0
 
@@ -78,7 +86,11 @@ class ArtifactStore:
         self._entries[key] = artifact
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._on_evict(evicted_key, evicted)
+
+    def _on_evict(self, key: str, artifact: StoredArtifact) -> None:
+        """Hook invoked when an entry leaves memory (spill stores persist it)."""
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -119,6 +131,189 @@ class ArtifactStore:
             stage: {"hits": stats.hits, "misses": stats.misses}
             for stage, stats in sorted(self.stats.items())
         }
+
+
+class DiskSpillStore(ArtifactStore):
+    """Artifact store that spills over a byte budget to a disk directory.
+
+    Entries live in memory (LRU, like :class:`ArtifactStore`) until the
+    estimated in-memory footprint exceeds ``max_bytes``; the least recently
+    used entries are then serialised to ``directory`` (one ``.npz`` per
+    content key) and dropped from memory.  A later ``get`` — in this process
+    or any other process pointed at the same directory — transparently loads
+    the entry back, so paper-scale sweeps reuse artifacts across runs, which
+    is exactly what content-derived keys make safe.
+
+    Artifacts are pickled and wrapped in a ``uint8`` array inside the
+    ``np.savez`` container, so loading never needs ``allow_pickle`` at the
+    numpy layer and the format stays a single self-describing file per key.
+    """
+
+    _FORMAT_VERSION = 1
+
+    def __init__(
+        self,
+        directory,
+        max_bytes: int = 256 * 1024 * 1024,
+        max_entries: int = 256,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        super().__init__(max_entries=max_entries)
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._sizes: Dict[str, int] = {}
+        self._total_bytes = 0
+        self.spill_writes = 0
+        self.spill_loads = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry access
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[StoredArtifact]:
+        artifact = super().get(key)
+        if artifact is not None:
+            return artifact
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        artifact = self._load(path, key)
+        if artifact is not None:
+            self.spill_loads += 1
+            self.put(key, artifact)
+        return artifact
+
+    def put(self, key: str, artifact: StoredArtifact) -> None:
+        previous = self._sizes.pop(key, 0)
+        self._total_bytes -= previous
+        size = self._estimate_bytes(artifact)
+        self._sizes[key] = size
+        self._total_bytes += size
+        super().put(key, artifact)
+        self._spill_over_budget()
+
+    def __contains__(self, key: str) -> bool:
+        return super().__contains__(key) or self._path_for(key).exists()
+
+    def clear(self) -> None:
+        """Drop memory entries, counters *and* this directory's spill files."""
+        super().clear()
+        self._sizes.clear()
+        self._total_bytes = 0
+        for path in self.directory.glob("*.npz"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    @property
+    def in_memory_bytes(self) -> int:
+        """Estimated footprint of the entries currently held in memory."""
+        return self._total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Spill mechanics
+    # ------------------------------------------------------------------ #
+    def _on_evict(self, key: str, artifact: StoredArtifact) -> None:
+        self._total_bytes -= self._sizes.pop(key, 0)
+        self._write(key, artifact)
+
+    def _spill_over_budget(self) -> None:
+        while self._total_bytes > self.max_bytes and self._entries:
+            key, artifact = self._entries.popitem(last=False)
+            self._on_evict(key, artifact)
+
+    def _write(self, key: str, artifact: StoredArtifact) -> None:
+        if self._path_for(key).exists():
+            # Entries are immutable under their content key; the bytes on
+            # disk are already current (e.g. a reloaded entry being evicted
+            # again).
+            return
+        payload = np.frombuffer(
+            pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+        )
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            version=np.int64(self._FORMAT_VERSION),
+            key=np.frombuffer(key.encode("utf-8"), dtype=np.uint8),
+            payload=payload,
+        )
+        path = self._path_for(key)
+        # Per-process temp name: concurrent writers of one key (two sweeps
+        # sharing a spill directory) must not interleave into one file.
+        temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        temporary.write_bytes(buffer.getvalue())
+        temporary.replace(path)  # atomic publish for cross-process readers
+        self.spill_writes += 1
+
+    def _load(self, path: Path, key: str) -> Optional[StoredArtifact]:
+        usable = False
+        try:
+            with np.load(path) as archive:
+                version_ok = int(archive["version"]) == self._FORMAT_VERSION
+                stored_key = bytes(archive["key"].tobytes()).decode("utf-8")
+                if version_ok and stored_key == key:
+                    artifact = pickle.loads(archive["payload"].tobytes())
+                    usable = True
+                    return artifact
+                return None
+        except Exception:
+            return None
+        finally:
+            if not usable:
+                # Any unusable file — truncated archive, stale format or
+                # pickle from an older revision, digest collision — degrades
+                # to a cache miss AND is dropped, so a later eviction can
+                # re-publish the key (``_write`` skips existing paths) and
+                # ``__contains__`` stops advertising an unloadable entry.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def _path_for(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]
+        return self.directory / f"{digest}.npz"
+
+    @staticmethod
+    def _estimate_bytes(artifact: StoredArtifact) -> int:
+        """Cheap footprint estimate: array buffers plus a per-object floor."""
+        seen: set = set()
+        total = 0
+        stack = [artifact.value, artifact.messages, artifact.compute_events,
+                 artifact.bulk_events, artifact.bulk_messages]
+        while stack:
+            obj = stack.pop()
+            identity = id(obj)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            if isinstance(obj, np.ndarray):
+                total += obj.nbytes
+            elif isinstance(obj, dict):
+                total += 64 * len(obj)
+                stack.extend(obj.keys())
+                stack.extend(obj.values())
+            elif isinstance(obj, (list, tuple, set, frozenset)):
+                total += 16 * len(obj)
+                stack.extend(obj)
+            elif isinstance(obj, (bytes, str)):
+                total += len(obj)
+            elif hasattr(obj, "__dict__"):
+                total += 64
+                stack.extend(vars(obj).values())
+            elif hasattr(obj, "__slots__"):
+                total += 64
+                stack.extend(
+                    getattr(obj, slot)
+                    for slot in obj.__slots__
+                    if hasattr(obj, slot)
+                )
+            else:
+                total += 32
+        return total
 
 
 _default_store: Optional[ArtifactStore] = None

@@ -1,7 +1,7 @@
 """Federated runtime simulator: devices, server, communication accounting."""
 
 from .device import Device, build_devices
-from .events import SERVER_ID, ComputeEvent, Message, MessageKind
+from .events import SERVER_ID, BulkComputeEvent, BulkMessageEvent, ComputeEvent, Message, MessageKind
 from .network import CommunicationLedger
 from .server import Server
 from .simulator import FederatedEnvironment
@@ -10,6 +10,8 @@ __all__ = [
     "Device",
     "build_devices",
     "Server",
+    "BulkComputeEvent",
+    "BulkMessageEvent",
     "Message",
     "ComputeEvent",
     "MessageKind",

@@ -84,3 +84,60 @@ class BulkComputeEvent:
     @property
     def total_cost(self) -> float:
         return float(self.costs.sum())
+
+
+@dataclass(slots=True)
+class BulkMessageEvent:
+    """Many directed messages of one kind/description, stored columnar.
+
+    Semantically equivalent to one :class:`Message` per position; used by the
+    MCMC balancing kernel, whose thousands of iterations would otherwise
+    allocate one message object per protocol step.  ``senders``,
+    ``recipients``, ``sizes`` and ``round_indices`` are parallel ``int64``
+    arrays (a scalar field of the logical messages is simply a constant
+    array).  The arrays are treated as immutable once recorded.
+    """
+
+    senders: "np.ndarray"
+    recipients: "np.ndarray"
+    kind: MessageKind
+    sizes: "np.ndarray"
+    round_indices: "np.ndarray"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        shape = self.senders.shape
+        if (
+            self.recipients.shape != shape
+            or self.sizes.shape != shape
+            or self.round_indices.shape != shape
+        ):
+            raise ValueError("bulk message columns must have matching shapes")
+
+    @property
+    def count(self) -> int:
+        return int(self.senders.shape[0])
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sizes.sum())
+
+    @property
+    def device_to_device_count(self) -> int:
+        return int(((self.senders != SERVER_ID) & (self.recipients != SERVER_ID)).sum())
+
+    def expand(self) -> list:
+        """Materialise the logical :class:`Message` objects (tests/debugging)."""
+        return [
+            Message(
+                sender=int(sender),
+                recipient=int(recipient),
+                kind=self.kind,
+                size_bytes=int(size),
+                round_index=int(round_index),
+                description=self.description,
+            )
+            for sender, recipient, size, round_index in zip(
+                self.senders, self.recipients, self.sizes, self.round_indices
+            )
+        ]

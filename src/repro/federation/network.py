@@ -19,16 +19,31 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from .events import SERVER_ID, BulkComputeEvent, ComputeEvent, Message, MessageKind
+from .events import (
+    SERVER_ID,
+    BulkComputeEvent,
+    BulkMessageEvent,
+    ComputeEvent,
+    Message,
+    MessageKind,
+)
 
 
 @dataclass
 class CommunicationLedger:
-    """Append-only log of messages and compute events with summary queries."""
+    """Append-only log of messages and compute events with summary queries.
+
+    Messages exist in two equivalent representations: individual
+    :class:`Message` objects (``messages``) and columnar
+    :class:`BulkMessageEvent` blocks (``bulk_message_events``, written by hot
+    protocol loops).  Every summary query accounts for both, so callers never
+    need to know which representation a phase used.
+    """
 
     messages: List[Message] = field(default_factory=list)
     compute_events: List[ComputeEvent] = field(default_factory=list)
     bulk_compute_events: List[BulkComputeEvent] = field(default_factory=list)
+    bulk_message_events: List[BulkMessageEvent] = field(default_factory=list)
     current_round: int = 0
 
     # ------------------------------------------------------------------ #
@@ -53,6 +68,34 @@ class CommunicationLedger:
         )
         self.messages.append(message)
         return message
+
+    def send_many(
+        self,
+        senders,
+        recipients,
+        kind: MessageKind,
+        sizes,
+        round_indices,
+        description: str = "",
+    ) -> BulkMessageEvent:
+        """Record many directed messages of one kind/description, columnar.
+
+        Semantically identical to calling :meth:`send` per position (with the
+        recorded per-position round), but stores one
+        :class:`BulkMessageEvent`; used by the MCMC balancing kernel where
+        allocating one message object per protocol step is measurable
+        overhead.
+        """
+        event = BulkMessageEvent(
+            senders=np.asarray(senders, dtype=np.int64),
+            recipients=np.asarray(recipients, dtype=np.int64),
+            kind=kind,
+            sizes=np.asarray(sizes, dtype=np.int64),
+            round_indices=np.asarray(round_indices, dtype=np.int64),
+            description=description,
+        )
+        self.bulk_message_events.append(event)
+        return event
 
     def compute(self, device: int, cost: float, description: str = "") -> ComputeEvent:
         """Record ``cost`` units of local computation on ``device``."""
@@ -91,6 +134,7 @@ class CommunicationLedger:
         self.messages.clear()
         self.compute_events.clear()
         self.bulk_compute_events.clear()
+        self.bulk_message_events.clear()
         self.current_round = 0
 
     # ------------------------------------------------------------------ #
@@ -99,9 +143,13 @@ class CommunicationLedger:
     def total_messages(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
         """Number of messages, optionally restricted to some kinds."""
         if kinds is None:
-            return len(self.messages)
+            return len(self.messages) + sum(
+                event.count for event in self.bulk_message_events
+            )
         wanted = set(kinds)
-        return sum(1 for message in self.messages if message.kind in wanted)
+        return sum(1 for message in self.messages if message.kind in wanted) + sum(
+            event.count for event in self.bulk_message_events if event.kind in wanted
+        )
 
     def total_bytes(self, kinds: Optional[Iterable[MessageKind]] = None) -> int:
         """Bytes transferred, optionally restricted to some kinds."""
@@ -110,11 +158,50 @@ class CommunicationLedger:
             message.size_bytes
             for message in self.messages
             if wanted is None or message.kind in wanted
+        ) + sum(
+            event.total_bytes
+            for event in self.bulk_message_events
+            if wanted is None or event.kind in wanted
         )
 
     def device_to_device_messages(self) -> int:
         """Messages where neither endpoint is the server."""
-        return sum(1 for message in self.messages if message.is_device_to_device)
+        return sum(1 for message in self.messages if message.is_device_to_device) + sum(
+            event.device_to_device_count for event in self.bulk_message_events
+        )
+
+    def message_records(self) -> List[tuple]:
+        """Canonical multiset of all logged traffic, sorted.
+
+        Expands both representations into ``(round, sender, recipient, kind,
+        size, description)`` tuples and sorts them — within one synchronous
+        round the protocol imposes no message order, so this is the form two
+        transcripts are compared in (tests, debugging).
+        """
+        records = [
+            (
+                message.round_index,
+                message.sender,
+                message.recipient,
+                message.kind.value,
+                message.size_bytes,
+                message.description,
+            )
+            for message in self.messages
+        ]
+        for event in self.bulk_message_events:
+            records.extend(
+                (
+                    message.round_index,
+                    message.sender,
+                    message.recipient,
+                    message.kind.value,
+                    message.size_bytes,
+                    message.description,
+                )
+                for message in event.expand()
+            )
+        return sorted(records)
 
     @staticmethod
     def _positions(device_ids: np.ndarray, devices: np.ndarray):
@@ -133,9 +220,17 @@ class CommunicationLedger:
         non-contiguous device ids pass the sorted ``device_ids`` array to get
         counts aligned to it (no id is dropped).
         """
-        senders = np.asarray(
-            [m.sender for m in self.messages if m.sender != SERVER_ID], dtype=np.int64
+        sender_blocks = [
+            np.asarray(
+                [m.sender for m in self.messages if m.sender != SERVER_ID],
+                dtype=np.int64,
+            )
+        ]
+        sender_blocks.extend(
+            event.senders[event.senders != SERVER_ID]
+            for event in self.bulk_message_events
         )
+        senders = np.concatenate(sender_blocks)
         if device_ids is not None:
             device_ids = np.asarray(device_ids, dtype=np.int64)
             counts = np.zeros(device_ids.shape[0], dtype=np.int64)
@@ -206,7 +301,7 @@ class CommunicationLedger:
     def summary(self, num_devices: Optional[int] = None) -> Dict[str, float]:
         """Return the headline counters as a dictionary."""
         result: Dict[str, float] = {
-            "total_messages": float(len(self.messages)),
+            "total_messages": float(self.total_messages()),
             "total_bytes": float(self.total_bytes()),
             "device_to_device_messages": float(self.device_to_device_messages()),
             "rounds": float(self.current_round),
@@ -220,6 +315,8 @@ class CommunicationLedger:
         by_kind: Dict[str, int] = defaultdict(int)
         for message in self.messages:
             by_kind[message.kind.value] += 1
+        for event in self.bulk_message_events:
+            by_kind[event.kind.value] += event.count
         for kind, count in by_kind.items():
             result[f"messages_{kind}"] = float(count)
         return result

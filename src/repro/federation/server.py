@@ -67,6 +67,23 @@ class Server:
             return int(winners[0])
         return int(self.rng.choice(winners))
 
+    def pick_maximum(self, winners: List[int]) -> int:
+        """Tie-break among ``winners`` without per-winner ledger messages.
+
+        Same selection semantics (and RNG consumption) as
+        :meth:`select_maximum`; used by the aggregated clear-mode balancing
+        path, which logs the winner announcements as a single coordination
+        message of ``len(winners)`` bytes instead of one message per winner.
+        ``Generator.choice`` without weights reduces to one bounded
+        ``integers`` draw, so the direct draw below consumes the stream
+        bit-identically while skipping ``choice``'s array conversion.
+        """
+        if not winners:
+            raise ValueError("no device reported a maximal workload")
+        if len(winners) == 1:
+            return int(winners[0])
+        return int(winners[int(self.rng.integers(0, len(winners)))])
+
     def reset_candidates(self) -> None:
         """Clear the candidate set before a new Alg. 3 invocation."""
         self._candidates.clear()

@@ -38,6 +38,9 @@ class FederatedEnvironment:
     _directed_edges_cache: Optional[np.ndarray] = field(
         default=None, repr=False, compare=False
     )
+    _adjacency_csr_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -113,6 +116,24 @@ class FederatedEnvironment:
         self._directed_edges_cache = edges
         return edges
 
+    def adjacency_csr(self) -> tuple:
+        """``(indptr, indices)`` CSR view of :meth:`directed_edges`.
+
+        Device ids must be the contiguous ``0..n-1`` of a node-level
+        partition (the same precondition as the vectorised balancing paths).
+        Cached alongside the directed-edge cache and invalidated with it.
+        """
+        if self._adjacency_csr_cache is not None:
+            return self._adjacency_csr_cache
+        sources, destinations = self.directed_edges()
+        counts = np.bincount(sources, minlength=self.num_devices)
+        indptr = np.zeros(self.num_devices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(sources, kind="stable")
+        indices = destinations[order]
+        self._adjacency_csr_cache = (indptr, indices)
+        return self._adjacency_csr_cache
+
     # ------------------------------------------------------------------ #
     # Communication and compute accounting
     # ------------------------------------------------------------------ #
@@ -155,8 +176,9 @@ class FederatedEnvironment:
         """Install a neighbour selection produced by the tree constructor."""
         # The selection does not alter the ego-network edge structure, but a
         # changed assignment is the one event after which stale derived state
-        # would be dangerous — drop the cache defensively.
+        # would be dangerous — drop the caches defensively.
         self._directed_edges_cache = None
+        self._adjacency_csr_cache = None
         for device_id, neighbors in assignment.items():
             self.devices[device_id].select_neighbors(list(neighbors))
 

@@ -28,7 +28,7 @@ from repro.engine.store import StoredArtifact
 from repro.federation import FederatedEnvironment
 from repro.graph import generate_facebook_like, split_edges, split_nodes
 
-STAGES = ("partition", "construction", "ldp_init", "tree_batch")
+STAGES = ("partition", "construction", "ldp_draws", "ldp_init", "tree_batch")
 
 
 @pytest.fixture(scope="module")
@@ -110,9 +110,14 @@ class TestSweepReuse:
         assert store.miss_count("construction") == 1
         assert store.hit_count("construction") == len(epsilons) - 1
         assert store.miss_count("partition") == 1
-        # epsilon changes the LDP output, so those stages recompute per point
+        # the draws and the batch structure are epsilon-independent: computed
+        # once, hit on every later sweep point
+        assert store.miss_count("ldp_draws") == 1
+        assert store.hit_count("ldp_draws") == len(epsilons) - 1
+        assert store.miss_count("tree_batch") == 1
+        assert store.hit_count("tree_batch") == len(epsilons) - 1
+        # epsilon changes the thresholding, so ldp_init recomputes per point
         assert store.miss_count("ldp_init") == len(epsilons)
-        assert store.miss_count("tree_batch") == len(epsilons)
 
         # Reused stages must not leak state between points: every point equals
         # an isolated cold run.

@@ -1,0 +1,214 @@
+"""Equivalence tests pinning the incremental MCMC kernel to the reference loop.
+
+The incremental kernel replaces the from-scratch Alg. 2/3 evaluation with
+array-backed delta updates; these tests assert that this is purely an
+implementation change: identical assignments, objective history, acceptance
+count, secure-comparison accounting, ledger transcript (canonical form) and
+RNG stream consumption, in both clear and secure modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Assignment,
+    MCMCBalancer,
+    TreeConstructor,
+    TreeConstructorConfig,
+    greedy_initialization,
+)
+from repro.federation import FederatedEnvironment
+from repro.graph import (
+    generate_facebook_like,
+    generate_small_world,
+    generate_star,
+)
+
+
+def _balanced(graph, *, kernel: str, seed: int = 0, iterations: int = 200,
+              secure: bool = False):
+    environment = FederatedEnvironment.from_graph(graph, seed=0)
+    initial = greedy_initialization(environment, rng=np.random.default_rng(seed))
+    balancer = MCMCBalancer(
+        environment,
+        iterations=iterations,
+        rng=np.random.default_rng(seed + 7),
+        secure=secure,
+        kernel=kernel,
+    )
+    result = balancer.run(initial)
+    return result, environment, balancer.accountant
+
+
+def _assert_equivalent(graph, *, seed: int = 0, iterations: int = 200,
+                       secure: bool = False):
+    fast, fast_env, fast_acc = _balanced(
+        graph, kernel="auto", seed=seed, iterations=iterations, secure=secure
+    )
+    slow, slow_env, slow_acc = _balanced(
+        graph, kernel="reference", seed=seed, iterations=iterations, secure=secure
+    )
+    assert fast.assignment.as_lists() == slow.assignment.as_lists()
+    assert fast.objective_history == slow.objective_history
+    assert fast.accepted_transitions == slow.accepted_transitions
+    assert fast.iterations == slow.iterations
+    # Transcript accounting is bit-identical.
+    assert fast_acc.comparisons == slow_acc.comparisons
+    assert fast_acc.ot_invocations == slow_acc.ot_invocations
+    assert fast_acc.messages == slow_acc.messages
+    assert fast_acc.bits == slow_acc.bits
+    # The ledgers carry the same traffic (canonical per-round multiset: the
+    # kernel logs columnar bulk events, the reference loop individual
+    # messages).
+    assert fast_env.ledger.message_records() == slow_env.ledger.message_records()
+    assert fast_env.ledger.summary(fast_env.num_devices) == slow_env.ledger.summary(
+        slow_env.num_devices
+    )
+    np.testing.assert_array_equal(
+        fast_env.ledger.per_device_message_counts(fast_env.num_devices),
+        slow_env.ledger.per_device_message_counts(slow_env.num_devices),
+    )
+    # Both loops leave every RNG stream in the same state.
+    assert (
+        fast_env.server.rng.bit_generator.state
+        == slow_env.server.rng.bit_generator.state
+    )
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_facebook_like_clear(self, seed):
+        graph = generate_facebook_like(seed=3, num_nodes=120)
+        _assert_equivalent(graph, seed=seed)
+
+    def test_small_world_clear(self):
+        graph = generate_small_world(num_nodes=60, k=4, seed=5)
+        _assert_equivalent(graph, seed=1)
+
+    def test_star_clear(self):
+        # Degenerate degree skew: the hub sheds everything early.
+        _assert_equivalent(generate_star(num_leaves=8, seed=2), seed=0)
+
+    def test_edgeless_graph_clear(self):
+        # Every device has an empty selection, so every iteration takes the
+        # skip branch — which must not advance the round counter (the
+        # reference loop `continue`s past next_round() too).
+        from repro.graph import Graph
+
+        graph = Graph(
+            num_nodes=5,
+            edges=np.zeros((0, 2), dtype=np.int64),
+            features=np.random.default_rng(0).random((5, 4)),
+        )
+        _assert_equivalent(graph, seed=0, iterations=10)
+
+    def test_secure_mode(self):
+        # Secure mode routes through the reference loop either way; the
+        # contract is that "auto" and "reference" stay indistinguishable.
+        graph = generate_small_world(num_nodes=30, k=4, seed=9)
+        _assert_equivalent(graph, seed=0, iterations=15, secure=True)
+
+    def test_constructor_level_equivalence(self, social_graph):
+        results = {}
+        for kernel in ("incremental", "reference"):
+            environment = FederatedEnvironment.from_graph(social_graph, seed=0)
+            constructor = TreeConstructor(
+                TreeConstructorConfig(mcmc_iterations=60),
+                rng=np.random.default_rng(0),
+                mcmc_kernel=kernel,
+            )
+            results[kernel] = constructor.construct(environment)
+        fast, slow = results["incremental"], results["reference"]
+        assert fast.assignment.as_lists() == slow.assignment.as_lists()
+        assert (
+            fast.mcmc_result.objective_history == slow.mcmc_result.objective_history
+        )
+        assert fast.transcript.bits == slow.transcript.bits
+
+    def test_kernel_validation(self, social_graph):
+        environment = FederatedEnvironment.from_graph(social_graph, seed=0)
+        with pytest.raises(ValueError):
+            MCMCBalancer(environment, iterations=1, kernel="warp-drive")
+        balancer = MCMCBalancer(
+            environment, iterations=1, secure=True, kernel="incremental"
+        )
+        initial = greedy_initialization(environment, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            balancer.run(initial)
+
+
+class TestTransferDeltas:
+    def test_apply_then_undo_restores_everything(self, social_graph):
+        assignment = Assignment.full(social_graph)
+        baseline = assignment.as_lists()
+        vector = assignment.workload_vector(social_graph.num_nodes)
+        baseline_vector = vector.copy()
+        source = int(np.argmax(baseline_vector))
+        targets = sorted(assignment.selected[source])[:3]
+
+        record = assignment.apply_transfer(source, targets)
+        assert assignment.workload(source) == baseline_vector[source] - len(targets)
+        np.testing.assert_array_equal(
+            vector, assignment.workload_array()[: vector.shape[0]]
+        )
+        assignment.undo_transfer(source, record)
+        assert assignment.as_lists() == baseline
+        np.testing.assert_array_equal(vector, baseline_vector)
+
+    def test_transfer_matches_apply_transfer(self, social_graph):
+        base = Assignment.full(social_graph)
+        source = 0
+        targets = sorted(base.selected[source])[:2]
+        fresh = base.transfer(source, targets)
+        mutated = base.copy()
+        mutated.apply_transfer(source, targets)
+        assert fresh.as_lists() == mutated.as_lists()
+        # The original is untouched by transfer().
+        assert base.as_lists() == Assignment.full(social_graph).as_lists()
+
+    def test_invalid_target_rejected(self, social_graph):
+        assignment = Assignment.full(social_graph)
+        not_selected = next(
+            v for v in range(social_graph.num_nodes)
+            if v not in assignment.selected[0] and v != 0
+        )
+        with pytest.raises(ValueError):
+            assignment.apply_transfer(0, [not_selected])
+
+    def test_workload_vector_is_maintained_not_rebuilt(self, social_graph):
+        assignment = Assignment.full(social_graph)
+        vector = assignment.workload_vector(social_graph.num_nodes)
+        assert vector is assignment.workload_vector(social_graph.num_nodes)
+        copied = assignment.copy()
+        assert copied.workload_vector(social_graph.num_nodes) is not vector
+
+
+class TestBulkMessageEvents:
+    def test_kernel_transcript_is_columnar(self):
+        graph = generate_facebook_like(seed=3, num_nodes=80)
+        _, environment, _ = _balanced(graph, kernel="incremental", iterations=50)
+        ledger = environment.ledger
+        descriptions = {event.description for event in ledger.bulk_message_events}
+        assert "alg3-candidate-announcements" in descriptions
+        assert "alg3-comparisons" in descriptions
+        # Expansion agrees with the columnar counters.
+        for event in ledger.bulk_message_events:
+            expanded = event.expand()
+            assert len(expanded) == event.count
+            assert sum(m.size_bytes for m in expanded) == event.total_bytes
+            assert (
+                sum(1 for m in expanded if m.is_device_to_device)
+                == event.device_to_device_count
+            )
+
+    def test_summary_accounts_for_bulk_messages(self):
+        graph = generate_facebook_like(seed=3, num_nodes=80)
+        _, environment, _ = _balanced(graph, kernel="incremental", iterations=50)
+        ledger = environment.ledger
+        eager = len(ledger.messages)
+        bulk = sum(event.count for event in ledger.bulk_message_events)
+        assert bulk > 0
+        assert ledger.total_messages() == eager + bulk
+        assert ledger.summary()["total_messages"] == float(eager + bulk)
