@@ -12,6 +12,9 @@ any previously recorded speedup fails the run):
 * **MCMC balancing** — the incremental array-backed kernel (delta workload
   updates, maintained candidate set, columnar transcript) vs a faithful
   emulation of the pre-PR from-scratch kernel;
+* **greedy initialization** — the batched secure-comparison kernel (one
+  vectorised comparison block, one columnar ledger event) vs the per-edge
+  reference protocol loop;
 * **a 5-point epsilon sweep** — the engine path (shared artifact store,
   shared LDP draws, epsilon-free tree-batch key, fast backend) vs an
   emulation of the pre-refactor "seed" path (reference kernels, no artifact
@@ -21,11 +24,14 @@ any previously recorded speedup fails the run):
 Run with::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--nodes 300]
-        [--epochs 50] [--mcmc 1000] [--repeat 2]
+        [--epochs 50] [--mcmc 1000] [--repeat 2] [--smoke]
 
 The default scale uses the paper's Facebook MCMC budget (1,000 balancing
 iterations, as in ``default_config_for("facebook")``) on a 300-device
-synthetic graph with 50 training epochs per sweep point.
+synthetic graph with 50 training epochs per sweep point.  ``--smoke`` runs
+every section at a tiny scale and skips the JSON rewrite and the regression
+gate — the tier-1 suite invokes it so the bench code cannot rot between
+perf PRs.
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ TRACKED_SPEEDUPS = (
     "treebatch_assembly",
     "training_epoch",
     "mcmc_balancing",
+    "greedy_initialization",
     "epsilon_sweep",
 )
 REGRESSION_TOLERANCE = 0.20
@@ -220,6 +227,45 @@ def bench_mcmc_balancing(graph, args) -> dict:
     }
 
 
+def bench_greedy_initialization(graph, args) -> dict:
+    """Time the batched greedy kernel vs the per-edge reference loop."""
+    from repro.crypto.oblivious_transfer import TranscriptAccountant
+
+    normalized = graph.normalized_features(0.0, 1.0)
+    outcomes = {}
+
+    def run(kernel):
+        def fn() -> float:
+            environment = FederatedEnvironment.from_graph(normalized, seed=0)
+            accountant = TranscriptAccountant()
+            start = time.perf_counter()
+            assignment = greedy_initialization(
+                environment, accountant=accountant,
+                rng=np.random.default_rng(0), kernel=kernel,
+            )
+            elapsed = time.perf_counter() - start
+            outcomes[kernel] = (assignment.objective(), accountant.snapshot())
+            return elapsed
+
+        return fn
+
+    fast = _best(run("batched"), args.repeat + 1)
+    slow = _best(run("reference"), args.repeat + 1)
+    if outcomes["batched"] != outcomes["reference"]:
+        raise AssertionError(
+            "batched greedy kernel diverged from the reference loop: "
+            f"{outcomes['batched']} != {outcomes['reference']}"
+        )
+    return {
+        "devices": graph.num_nodes,
+        "comparisons": outcomes["batched"][1]["comparisons"],
+        "batched_seconds": fast,
+        "reference_seconds": slow,
+        "speedup": slow / fast if fast else float("nan"),
+        "objective": outcomes["batched"][0],
+    }
+
+
 def _config(args, epsilon: float = 2.0):
     return (
         default_config_for("facebook")
@@ -299,6 +345,7 @@ def _seed_construct(environment, config, rng):
         accountant=transcript,
         bit_width=config.constructor.degree_comparison_bits,
         rng=rng,
+        kernel="reference",  # the pre-refactor implementation was the per-edge loop
     )
     assignment, history, _ = _pre_pr_balance(
         environment, greedy, config.constructor.mcmc_iterations, rng,
@@ -451,7 +498,15 @@ def main(argv=None) -> int:
                         help="timing repetitions (best-of)")
     parser.add_argument("--output", default=None,
                         help="output path (default: <repo>/BENCH_engine.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scale, no JSON rewrite, no regression "
+                             "gate — exercises every section (tier-1 CI)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.nodes = min(args.nodes, 40)
+        args.epochs = min(args.epochs, 3)
+        args.mcmc = min(args.mcmc, 25)
+        args.repeat = 1
 
     graph = load_dataset("facebook", seed=0, num_nodes=args.nodes)
     split = split_nodes(graph, seed=0)
@@ -472,6 +527,11 @@ def main(argv=None) -> int:
           f"{mcmc['devices']} devices): incremental "
           f"{mcmc['incremental_seconds'] * 1e3:.1f} ms vs pre-PR kernel "
           f"{mcmc['pre_pr_seconds'] * 1e3:.1f} ms ({mcmc['speedup']:.2f}x)")
+    greedy = bench_greedy_initialization(graph, args)
+    print(f"[bench_engine] greedy initialization ({greedy['comparisons']} "
+          f"comparisons, {greedy['devices']} devices): batched "
+          f"{greedy['batched_seconds'] * 1e3:.2f} ms vs reference "
+          f"{greedy['reference_seconds'] * 1e3:.2f} ms ({greedy['speedup']:.1f}x)")
     sweep = bench_epsilon_sweep(graph, split, args)
     print(f"[bench_engine] epsilon sweep ({sweep['points']} points): engine "
           f"{sweep['engine_seconds']:.2f} s vs seed path "
@@ -492,8 +552,13 @@ def main(argv=None) -> int:
         "treebatch_assembly": treebatch,
         "training_epoch": epoch,
         "mcmc_balancing": mcmc,
+        "greedy_initialization": greedy,
         "epsilon_sweep": sweep,
     }
+    if args.smoke:
+        print("[bench_engine] smoke mode: skipping the JSON rewrite and the "
+              "regression gate")
+        return 0
     output = Path(args.output) if args.output else Path(__file__).resolve().parents[1] / "BENCH_engine.json"
     regressions = check_trajectory(payload, output)
     if regressions:

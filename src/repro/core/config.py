@@ -12,6 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+#: Alg. 1 kernel selection values (defined here, on the dependency-free
+#: config leaf; :mod:`repro.core.greedy` imports them).
+GREEDY_KERNELS = ("auto", "batched", "reference")
+
 
 @dataclass(frozen=True)
 class TreeConstructorConfig:
@@ -22,10 +26,20 @@ class TreeConstructorConfig:
     mcmc_iterations: int = 300
     degree_comparison_bits: int = 8
     workload_comparison_bits: int = 24
+    # Alg. 1 kernel ("auto" resolves to the batched kernel; secure
+    # construction always runs the reference loop).  Part of the frozen
+    # config so the engine's construction fingerprint distinguishes kernels
+    # and cached artifacts never mix RNG stream contracts.
+    greedy_kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mcmc_iterations < 0:
             raise ValueError("mcmc_iterations must be non-negative")
+        if self.greedy_kernel not in GREEDY_KERNELS:
+            raise ValueError(
+                f"greedy_kernel must be one of {GREEDY_KERNELS}, "
+                f"got {self.greedy_kernel!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -68,11 +68,21 @@ class TreeConstructor:
         rng: Optional[np.random.Generator] = None,
         secure: bool = False,
         mcmc_kernel: str = "auto",
+        greedy_kernel: Optional[str] = None,
     ) -> None:
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
         self.secure = secure
         self.mcmc_kernel = mcmc_kernel
+        # None defers to the (fingerprinted) config knob; secure construction
+        # always runs the reference loop, whose message-level protocol
+        # simulation is inherently per-comparison (mirrors the MCMC kernel).
+        self.greedy_kernel = greedy_kernel
+
+    def _resolve_greedy_kernel(self) -> str:
+        if self.secure:
+            return "reference"
+        return self.greedy_kernel if self.greedy_kernel is not None else self.config.greedy_kernel
 
     def construct(self, environment: FederatedEnvironment) -> TreeConstructionResult:
         """Run the constructor over ``environment`` and install the assignment."""
@@ -93,6 +103,7 @@ class TreeConstructor:
                 accountant=transcript,
                 bit_width=self.config.degree_comparison_bits,
                 rng=self.rng,
+                kernel=self._resolve_greedy_kernel(),
             )
             balancer = MCMCBalancer(
                 environment,

@@ -8,6 +8,26 @@ keeps the edge, filling the workload gap between devices with a large degree
 difference.  When the two buckets are equal *both* endpoints keep the edge
 (both comparisons return ``>=``), which is exactly the behaviour of Alg. 1
 and guarantees the edge-coverage constraint of Eq. 10.
+
+Two kernels implement the loop:
+
+* ``"batched"`` evaluates all directed-edge comparisons as one numpy block
+  (:meth:`~repro.crypto.zero_knowledge.DegreeComparisonProtocol.compare_degrees_many`),
+  charges the accountant with one bulk pattern record and the ledger with one
+  columnar :class:`~repro.federation.events.BulkMessageEvent` — identical
+  totals, canonical transcript and selected sets, at O(E) numpy cost instead
+  of O(E) protocol objects;
+* ``"reference"`` is the original per-edge message-level simulation, kept as
+  the parity baseline and for secure construction, where each comparison must
+  run the simulated OT protocol step by step.
+
+**RNG stream contract** — neither kernel draws from the shared random stream:
+the simulated 1-out-of-2^m table OTs need no masking randomness, so the
+greedy phase is RNG-transparent and the two kernels leave any seeded
+generator in the same state (pinned by ``tests/test_greedy_batched.py``).
+The ``greedy_kernel`` knob still participates in the engine's construction
+fingerprint so cached artifacts produced by different kernels are never
+aliased should a future kernel start consuming the stream.
 """
 
 from __future__ import annotations
@@ -20,7 +40,18 @@ from ..crypto.oblivious_transfer import TranscriptAccountant
 from ..crypto.zero_knowledge import DegreeComparisonProtocol
 from ..federation.events import MessageKind
 from ..federation.simulator import FederatedEnvironment
+from .config import GREEDY_KERNELS as KERNELS
 from .workload import Assignment
+
+
+def comparison_message_bytes(bits_exchanged: int) -> int:
+    """Ledger size of one SECURE_COMPARISON message.
+
+    Both directions of a degree comparison carry the same transcript share;
+    the reference loop and the batched kernel both derive their per-message
+    byte count from this single helper so the two accountings cannot drift.
+    """
+    return max(1, int(bits_exchanged) // 8)
 
 
 def greedy_initialization(
@@ -28,6 +59,7 @@ def greedy_initialization(
     accountant: Optional[TranscriptAccountant] = None,
     bit_width: int = 8,
     rng: Optional[np.random.Generator] = None,
+    kernel: str = "auto",
 ) -> Assignment:
     """Run Alg. 1 over the federated environment and return the assignment.
 
@@ -36,8 +68,34 @@ def greedy_initialization(
     ``O(max_v deg(v) * L log L)``).  The transcripts (OT invocations, bits)
     accumulate into ``accountant`` and each comparison is charged to the
     environment's communication ledger as ``SECURE_COMPARISON`` traffic.
+
+    ``kernel`` selects the implementation: ``"batched"`` (vectorised, the
+    default resolution of ``"auto"``) or ``"reference"`` (the per-edge
+    protocol loop).  The two are equivalent in every recorded observable —
+    selected sets, accountant totals and log, canonical ledger transcript,
+    RNG state (see the module docstring for the RNG stream contract).
     """
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     accountant = accountant if accountant is not None else TranscriptAccountant()
+
+    if kernel == "reference":
+        selected = _select_reference(environment, accountant, bit_width, rng)
+    else:
+        selected = _select_batched(environment, accountant, bit_width)
+
+    assignment = Assignment(selected=selected)
+    environment.apply_assignment(assignment.as_lists())
+    return assignment
+
+
+def _select_reference(
+    environment: FederatedEnvironment,
+    accountant: TranscriptAccountant,
+    bit_width: int,
+    rng: Optional[np.random.Generator],
+) -> Dict[int, Set[int]]:
+    """The per-edge protocol loop (message-level simulation, parity baseline)."""
     protocol = DegreeComparisonProtocol(bit_width=bit_width, accountant=accountant, rng=rng)
 
     selected: Dict[int, Set[int]] = {device_id: set() for device_id in environment.devices}
@@ -50,7 +108,7 @@ def greedy_initialization(
             neighbor_degree = environment.devices[neighbor].degree
             # Line 4 of Alg. 1: keep v when round(ln deg(v)) >= round(ln deg(u)).
             outcome = protocol.compare_degrees(neighbor_degree, own_degree)
-            size_bytes = max(1, outcome.bits_exchanged // 8)
+            size_bytes = comparison_message_bytes(outcome.bits_exchanged)
             environment.exchange(
                 device_id, neighbor, MessageKind.SECURE_COMPARISON, size_bytes,
                 description="greedy-degree-comparison",
@@ -61,7 +119,79 @@ def greedy_initialization(
             )
             if outcome.left_bucket_ge_right:
                 selected[device_id].add(neighbor)
+    return selected
 
-    assignment = Assignment(selected=selected)
-    environment.apply_assignment(assignment.as_lists())
-    return assignment
+
+def _select_batched(
+    environment: FederatedEnvironment,
+    accountant: TranscriptAccountant,
+    bit_width: int,
+) -> Dict[int, Set[int]]:
+    """Vectorised Alg. 1: all directed-edge comparisons as one numpy block.
+
+    The directed-edge list comes from the environment's cached CSR adjacency
+    (contiguous device ids) or from the directed-edge cache with a
+    searchsorted id join (non-contiguous deployments).  The comparisons run
+    through :meth:`DegreeComparisonProtocol.compare_degrees_many`, the
+    edge-keep decision is one boolean mask, and the ledger is charged with a
+    single columnar event carrying both directions of every edge.
+    """
+    device_ids = np.asarray(environment.device_ids(), dtype=np.int64)
+    num_devices = int(device_ids.shape[0])
+    if environment.has_contiguous_ids():
+        indptr, indices = environment.adjacency_csr()
+        degrees = np.diff(indptr)
+        sources = np.repeat(device_ids, degrees)
+        destinations = indices
+        source_positions = sources
+        destination_positions = destinations
+    else:
+        sources, destinations = environment.directed_edges()
+        positions = np.searchsorted(device_ids, sources)
+        order = np.argsort(positions, kind="stable")
+        sources = sources[order]
+        destinations = destinations[order]
+        source_positions = positions[order]
+        destination_positions = np.minimum(
+            np.searchsorted(device_ids, destinations), num_devices - 1
+        )
+        # Every neighbour must be a device of the environment; the reference
+        # loop fails loudly on environment.devices[neighbor], so the batched
+        # id join must not silently map a dangling id onto another device.
+        if not np.array_equal(device_ids[destination_positions], destinations):
+            missing = destinations[device_ids[destination_positions] != destinations]
+            raise KeyError(f"unknown neighbour device {int(missing[0])}")
+        degrees = np.asarray(
+            [environment.devices[int(device_id)].degree for device_id in device_ids],
+            dtype=np.int64,
+        )
+
+    protocol = DegreeComparisonProtocol(bit_width=bit_width, accountant=accountant)
+    count = int(sources.shape[0])
+    keep = np.zeros(0, dtype=bool)
+    if count:
+        # Line 4 of Alg. 1 over all directed edges at once: device u keeps v
+        # when round(ln deg(v)) >= round(ln deg(u)).
+        batch = protocol.compare_degrees_many(
+            degrees[destination_positions], degrees[source_positions]
+        )
+        keep = batch.left_ge_right
+        size_bytes = comparison_message_bytes(batch.cost.bits)
+        round_index = environment.ledger.current_round
+        environment.ledger.send_many(
+            np.concatenate([sources, destinations]),
+            np.concatenate([destinations, sources]),
+            MessageKind.SECURE_COMPARISON,
+            np.full(2 * count, size_bytes, dtype=np.int64),
+            np.full(2 * count, round_index, dtype=np.int64),
+            description="greedy-degree-comparison",
+        )
+
+    keep_counts = np.bincount(source_positions[keep], minlength=num_devices) if count else np.zeros(
+        num_devices, dtype=np.int64
+    )
+    pieces = np.split(destinations[keep], np.cumsum(keep_counts)[:-1]) if num_devices else []
+    return {
+        int(device_ids[position]): set(pieces[position].tolist())
+        for position in range(num_devices)
+    }

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..crypto.oblivious_transfer import TranscriptAccountant
+from ..crypto.secure_compare import comparison_cost
 from ..crypto.zero_knowledge import WorkloadComparisonProtocol
 from ..federation.events import SERVER_ID, MessageKind
 from ..federation.simulator import FederatedEnvironment
@@ -162,15 +163,19 @@ def find_max_workload_device(
 def _charge_analytic_comparisons(
     accountant: TranscriptAccountant, count: int, bit_width: int = 24, block_bits: int = 4
 ) -> None:
-    """Add the cost of ``count`` CrypTFlow2 comparisons without running them."""
-    num_blocks = (bit_width + block_bits - 1) // block_bits
-    ots_per_comparison = 2 * num_blocks
-    bits_per_ot = (1 << block_bits) * 1 + 128
-    and_gate_bits = 2 * block_bits * max(num_blocks - 1, 0)
+    """Add the cost of ``count`` CrypTFlow2 comparisons without running them.
+
+    The per-comparison constants come from the shared
+    :func:`repro.crypto.secure_compare.comparison_cost` table (the same source
+    the batched greedy kernel charges from), so the analytic and executed
+    accountings cannot drift.  Unlike the executed protocols this path leaves
+    the capped transcript log untouched (it always has).
+    """
+    cost = comparison_cost(bit_width, block_bits=block_bits)
     accountant.comparisons += count
-    accountant.ot_invocations += count * ots_per_comparison
-    accountant.messages += count * (ots_per_comparison + max(num_blocks - 1, 0))
-    accountant.bits += count * (ots_per_comparison * bits_per_ot + and_gate_bits)
+    accountant.ot_invocations += count * cost.ot_invocations
+    accountant.messages += count * cost.messages
+    accountant.bits += count * cost.bits
 
 
 def _charge_comparison_traffic(environment: FederatedEnvironment, count: int) -> None:
@@ -269,8 +274,7 @@ class _IncrementalBalancingKernel:
     @staticmethod
     def supported(environment: FederatedEnvironment) -> bool:
         """Contiguous ``0..n-1`` device ids (node-level partition layout)."""
-        ids = environment.device_ids()
-        return not ids or (ids[0] == 0 and ids[-1] == len(ids) - 1)
+        return environment.has_contiguous_ids()
 
     # ------------------------------------------------------------------ #
     # Alg. 3 (incremental candidate/argmax evaluation)

@@ -8,12 +8,20 @@ from .ldp import (
     RandomizedResponse,
 )
 from .oblivious_transfer import ObliviousTransfer, OTResult, TranscriptAccountant
-from .secure_compare import ComparisonResult, SecureComparator, secure_max_index
+from .secure_compare import (
+    BatchComparisonResult,
+    ComparisonCost,
+    ComparisonResult,
+    SecureComparator,
+    comparison_cost,
+    secure_max_index,
+)
 from .zero_knowledge import (
     DegreeComparisonOutcome,
     DegreeComparisonProtocol,
     WorkloadComparisonProtocol,
     log_degree_bucket,
+    log_degree_buckets,
     verify_zero_knowledge_transcript,
 )
 
@@ -28,10 +36,14 @@ __all__ = [
     "TranscriptAccountant",
     "SecureComparator",
     "ComparisonResult",
+    "ComparisonCost",
+    "BatchComparisonResult",
+    "comparison_cost",
     "secure_max_index",
     "DegreeComparisonProtocol",
     "DegreeComparisonOutcome",
     "WorkloadComparisonProtocol",
     "log_degree_bucket",
+    "log_degree_buckets",
     "verify_zero_knowledge_transcript",
 ]

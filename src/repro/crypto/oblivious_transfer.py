@@ -20,7 +20,7 @@ implementation records every transmitted bit in a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,9 @@ import numpy as np
 @dataclass
 class TranscriptAccountant:
     """Counts messages and bits exchanged by the simulated crypto protocols."""
+
+    #: The log stores at most this many entries (counters keep accumulating).
+    LOG_CAP = 10_000
 
     messages: int = 0
     bits: int = 0
@@ -39,8 +42,26 @@ class TranscriptAccountant:
         """Record one message of ``bits`` bits."""
         self.messages += 1
         self.bits += int(bits)
-        if len(self._log) < 10_000:
+        if len(self._log) < self.LOG_CAP:
             self._log.append(f"{description}:{bits}")
+
+    def record_pattern(self, pattern: Sequence[Tuple[str, int]], count: int) -> None:
+        """Record ``count`` repetitions of a fixed ``(description, bits)`` pattern.
+
+        Counter- and log-identical to calling :meth:`record` once per entry of
+        the repeated pattern (including the ``LOG_CAP`` truncation), but O(1)
+        in the counters — this is how the batched protocol kernels charge one
+        transcript entry per logical message without a python loop per message.
+        """
+        if count <= 0 or not pattern:
+            return
+        self.messages += len(pattern) * count
+        self.bits += sum(bits for _, bits in pattern) * count
+        remaining = self.LOG_CAP - len(self._log)
+        if remaining > 0:
+            entries = [f"{description}:{bits}" for description, bits in pattern]
+            repeats = min(count, -(-remaining // len(entries)))
+            self._log.extend((entries * repeats)[:remaining])
 
     def record_ot(self, message_bits: int) -> None:
         """Record one 1-out-of-2 OT of ``message_bits``-bit messages.

@@ -21,6 +21,7 @@ This module simulates that protocol at the message level:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -39,6 +40,65 @@ class ComparisonResult:
     @property
     def left_lt_right(self) -> bool:
         return not self.left_ge_right
+
+
+@dataclass(frozen=True)
+class ComparisonCost:
+    """Analytic per-comparison cost of the CrypTFlow2 block protocol.
+
+    The block protocol's communication depends only on the bit width — never
+    on the operand values — so one comparison's transcript is a fixed pattern
+    of messages.  ``pattern`` is the exact ``(description, bits)`` sequence
+    :meth:`SecureComparator.compare` records: ``2 * num_blocks`` 1-out-of-2^m
+    OTs followed by ``num_blocks - 1`` AND-gate rounds.  The batched kernels
+    (and the MCMC balancer's analytic charger) derive their accounting from
+    this single source so the two paths cannot drift.
+    """
+
+    bit_width: int
+    block_bits: int
+    num_blocks: int
+    ot_invocations: int
+    messages: int
+    bits: int
+    pattern: Tuple[Tuple[str, int], ...]
+
+
+@lru_cache(maxsize=None)
+def comparison_cost(
+    bit_width: int, block_bits: int = 4, message_bits: int = 1
+) -> ComparisonCost:
+    """Return the (constant) transcript cost of one ``bit_width`` comparison."""
+    num_blocks = (bit_width + block_bits - 1) // block_bits
+    ot_bits = (1 << block_bits) * message_bits + 128
+    pattern = (("ot-n", ot_bits),) * (2 * num_blocks) + (
+        ("and-gate", 2 * block_bits),
+    ) * max(num_blocks - 1, 0)
+    return ComparisonCost(
+        bit_width=bit_width,
+        block_bits=block_bits,
+        num_blocks=num_blocks,
+        ot_invocations=2 * num_blocks,
+        messages=len(pattern),
+        bits=sum(bits for _, bits in pattern),
+        pattern=pattern,
+    )
+
+
+@dataclass(frozen=True)
+class BatchComparisonResult:
+    """Public outcome of a batch of independent secure comparisons."""
+
+    left_ge_right: np.ndarray
+    cost: ComparisonCost
+
+    @property
+    def count(self) -> int:
+        return int(self.left_ge_right.shape[0])
+
+    @property
+    def bits_per_comparison(self) -> int:
+        return self.cost.bits
 
 
 class SecureComparator:
@@ -85,8 +145,57 @@ class SecureComparator:
         )
 
     def compare_many(self, pairs: List[Tuple[int, int]]) -> List[ComparisonResult]:
-        """Compare a batch of pairs (each pair is an independent protocol run)."""
-        return [self.compare(left, right) for left, right in pairs]
+        """Compare a batch of pairs (each pair is an independent protocol run).
+
+        Vectorised over :meth:`compare_batch`: the outcomes, the accountant
+        totals and the transcript log are identical to running
+        :meth:`compare` once per pair.
+        """
+        if not pairs:
+            return []
+        left = np.fromiter((pair[0] for pair in pairs), dtype=np.int64, count=len(pairs))
+        right = np.fromiter((pair[1] for pair in pairs), dtype=np.int64, count=len(pairs))
+        batch = self.compare_batch(left, right)
+        return [
+            ComparisonResult(
+                left_ge_right=bool(outcome),
+                bits_exchanged=batch.cost.bits,
+                ot_invocations=batch.cost.ot_invocations,
+            )
+            for outcome in batch.left_ge_right
+        ]
+
+    def compare_batch(self, left, right) -> BatchComparisonResult:
+        """Evaluate many independent comparisons as one numpy block.
+
+        ``left[i] >= right[i]`` for parallel 1-D integer arrays.  Every
+        comparison is charged exactly the transcript of one
+        :meth:`compare` run (same counters, same capped log entries, in the
+        same per-comparison pattern), so a batch is indistinguishable from
+        the equivalent python loop in all recorded observables.
+
+        RNG stream contract: like the scalar protocol simulation (whose
+        1-out-of-2^m table OTs need no masking randomness), the batch draws
+        **nothing** from the comparator's RNG — batched and looped execution
+        leave any shared random stream in the same state.
+        """
+        left = np.asarray(left, dtype=np.int64)
+        right = np.asarray(right, dtype=np.int64)
+        if left.ndim != 1 or left.shape != right.shape:
+            raise ValueError("compare_batch expects two 1-D arrays of equal length")
+        for name, values in (("left", left), ("right", right)):
+            if values.size:
+                if int(values.min()) < 0:
+                    raise ValueError(f"{name} must be non-negative")
+                if int(values.max()) >= (1 << self.bit_width):
+                    raise ValueError(f"{name} does not fit in {self.bit_width} bits")
+        cost = comparison_cost(self.bit_width, block_bits=self.BLOCK_BITS)
+        count = int(left.shape[0])
+        outcomes = left >= right
+        self.accountant.ot_invocations += cost.ot_invocations * count
+        self.accountant.record_pattern(cost.pattern, count)
+        self.accountant.comparisons += count
+        return BatchComparisonResult(left_ge_right=outcomes, cost=cost)
 
     def argmax(self, values: List[int]) -> int:
         """Return the index of the maximum via pairwise secure comparisons.

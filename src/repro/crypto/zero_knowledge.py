@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .oblivious_transfer import TranscriptAccountant
-from .secure_compare import SecureComparator
+from .secure_compare import BatchComparisonResult, SecureComparator
 
 
 def log_degree_bucket(degree: int) -> int:
@@ -34,6 +34,20 @@ def log_degree_bucket(degree: int) -> int:
     if degree <= 0:
         return 0
     return int(round(math.log(degree)))
+
+
+def log_degree_buckets(degrees) -> np.ndarray:
+    """Vectorised :func:`log_degree_bucket` over an integer array.
+
+    ``np.rint`` rounds halves to even exactly like python's ``round``, so the
+    array path is element-for-element identical to the scalar one.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    buckets = np.zeros(degrees.shape, dtype=np.int64)
+    positive = degrees > 0
+    if positive.any():
+        buckets[positive] = np.rint(np.log(degrees[positive])).astype(np.int64)
+    return buckets
 
 
 @dataclass(frozen=True)
@@ -68,6 +82,18 @@ class DegreeComparisonProtocol:
         return DegreeComparisonOutcome(
             left_bucket_ge_right=result.left_ge_right,
             bits_exchanged=result.bits_exchanged,
+        )
+
+    def compare_degrees_many(self, left_degrees, right_degrees) -> BatchComparisonResult:
+        """Batched :meth:`compare_degrees` over parallel degree arrays.
+
+        One protocol run per position, evaluated as a single numpy block
+        (:meth:`SecureComparator.compare_batch`): outcomes, accountant totals
+        and the capped transcript log are identical to the scalar loop, and —
+        per the batch RNG contract — nothing is drawn from the shared stream.
+        """
+        return self._comparator.compare_batch(
+            log_degree_buckets(left_degrees), log_degree_buckets(right_degrees)
         )
 
 

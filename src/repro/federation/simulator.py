@@ -73,6 +73,13 @@ class FederatedEnvironment:
         """Sorted list of device ids."""
         return sorted(self.devices)
 
+    def has_contiguous_ids(self) -> bool:
+        """Whether device ids are the contiguous ``0..n-1`` of a node-level
+        partition — the precondition of :meth:`adjacency_csr` and of the
+        vectorised balancing/greedy fast paths."""
+        ids = self.device_ids()
+        return not ids or (ids[0] == 0 and ids[-1] == len(ids) - 1)
+
     def workloads(self) -> Dict[int, int]:
         """Current workload of every device (selected-neighbour counts)."""
         return {device_id: device.workload for device_id, device in self.devices.items()}

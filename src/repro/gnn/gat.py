@@ -18,6 +18,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn import init
+from ..nn.backend import get_backend
 from ..nn.module import Module, Parameter
 from ..nn.tensor import Tensor
 
@@ -83,9 +84,17 @@ class GATLayer(Module):
         dst_scores = (transformed * self.attention_dst.reshape(1, self.num_heads, self.out_features)).sum(axis=-1)
 
         # Per-edge logits and softmax over incoming edges of each destination.
-        edge_logits = F.gather(src_scores, src) + F.gather(dst_scores, dst)
-        edge_logits = edge_logits.leaky_relu(self.negative_slope)
-        attention = F.segment_softmax(edge_logits, dst, num_nodes)  # (E, H)
+        if get_backend().allow_fused:
+            # Fused gather/leaky-relu/segment-softmax kernel: one autograd
+            # node with the closed-form softmax adjoint (same algebra as the
+            # composite below; parity pinned by tests/test_nn_backend.py).
+            attention = F.edge_attention_softmax(
+                src_scores, dst_scores, src, dst, num_nodes, self.negative_slope
+            )  # (E, H)
+        else:
+            edge_logits = F.gather(src_scores, src) + F.gather(dst_scores, dst)
+            edge_logits = edge_logits.leaky_relu(self.negative_slope)
+            attention = F.segment_softmax(edge_logits, dst, num_nodes)  # (E, H)
 
         # Weighted aggregation of source embeddings into destinations.
         messages = F.gather(transformed, src)  # (E, H, F)

@@ -1,0 +1,47 @@
+"""Tier-1 smoke coverage of the perf-benchmark harness.
+
+``benchmarks/bench_engine.py`` is only executed by hand between perf PRs, so
+its code would silently rot; the ``--smoke`` mode runs every section at a
+tiny scale without touching ``BENCH_engine.json`` or the regression gate,
+and this test keeps it in the tier-1 flow.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_bench_engine():
+    spec = importlib.util.spec_from_file_location(
+        "bench_engine_smoke", REPO_ROOT / "benchmarks" / "bench_engine.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_mode_runs_all_sections_without_writing(tmp_path):
+    bench_engine = _load_bench_engine()
+    bench_json = REPO_ROOT / "BENCH_engine.json"
+    before = bench_json.read_bytes() if bench_json.exists() else None
+
+    assert bench_engine.main(["--smoke"]) == 0
+
+    after = bench_json.read_bytes() if bench_json.exists() else None
+    assert before == after, "--smoke must never rewrite BENCH_engine.json"
+
+
+def test_tracked_speedups_include_all_perf_sections():
+    bench_engine = _load_bench_engine()
+    assert set(bench_engine.TRACKED_SPEEDUPS) == {
+        "treebatch_assembly",
+        "training_epoch",
+        "mcmc_balancing",
+        "greedy_initialization",
+        "epsilon_sweep",
+    }
