@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 from repro.core import LumosSystem, default_config_for
+from repro.eval.runner import ExperimentScale, run_epsilon_sweep
 from repro.graph import load_dataset, split_nodes
 
 
@@ -57,6 +58,21 @@ def main() -> None:
     print(f"GAT test accuracy:                {gat_result.test_accuracy:.4f}")
     for stage, stats in gat_system.engine_stats().items():
         print(f"stage {stage:<14} hits={stats['hits']} misses={stats['misses']}")
+
+    # Independent experiment arms can also be scheduled across worker
+    # processes (repro.runtime): the shared pipeline prefix is computed once,
+    # per-point work fans out, and the merged results are bit-for-bit
+    # identical to the serial loop — same numbers, sooner on multi-core.
+    sweep = run_epsilon_sweep(
+        "facebook",
+        epsilons=[0.5, 1.0, 2.0, 4.0],
+        scale=ExperimentScale(num_nodes=300, epochs=20, mcmc_iterations=150),
+        executor="process",   # the default, executor="serial", runs inline
+        max_workers=2,
+    )
+    print("\n=== Parallel epsilon sweep (executor=\"process\") ===")
+    for epsilon, accuracy in sweep.items():
+        print(f"epsilon={epsilon:<4} test accuracy: {accuracy:.4f}")
 
 
 if __name__ == "__main__":

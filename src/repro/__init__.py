@@ -22,6 +22,10 @@ Top-level subpackages
     reuse across sweeps and repeated runs).
 ``repro.baselines``
     Centralized GNN, LPGNN, and the naive federated GNN baseline.
+``repro.runtime``
+    Parallel execution runtime: a multi-process scheduler of independent
+    engine work items (sweep points, ablation arms, baselines) with
+    bit-for-bit deterministic merging.
 ``repro.eval``
     Metrics, experiment runner and per-figure reproduction entry points.
 """
@@ -37,5 +41,6 @@ __all__ = [
     "core",
     "engine",
     "baselines",
+    "runtime",
     "eval",
 ]

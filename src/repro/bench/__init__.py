@@ -1,0 +1,12 @@
+"""Performance benchmarks shipped as part of the package.
+
+``repro.bench.engine`` is the staged-execution-engine micro-benchmark; it
+is installed as the ``repro-bench`` console script and kept runnable from
+the repository via the ``benchmarks/bench_engine.py`` shim (which pins the
+output path to the repository root, where ``BENCH_engine.json`` records the
+perf trajectory).
+"""
+
+from .engine import main as bench_engine_main
+
+__all__ = ["bench_engine_main"]

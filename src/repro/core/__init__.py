@@ -1,6 +1,12 @@
 """Lumos core: tree constructor, workload balancing and tree-based GNN trainer."""
 
-from .config import LumosConfig, TrainerConfig, TreeConstructorConfig, default_config_for
+from .config import (
+    LumosConfig,
+    RuntimeConfig,
+    TrainerConfig,
+    TreeConstructorConfig,
+    default_config_for,
+)
 from .constructor import TreeConstructionResult, TreeConstructor
 from .embedding_init import EmbeddingInitializationResult, LDPEmbeddingInitializer
 from .greedy import greedy_initialization
@@ -20,6 +26,7 @@ from .workload import Assignment, workload_cdf
 
 __all__ = [
     "LumosConfig",
+    "RuntimeConfig",
     "TrainerConfig",
     "TreeConstructorConfig",
     "default_config_for",

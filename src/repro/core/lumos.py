@@ -49,11 +49,20 @@ from .trainer import (
 _normalized_graphs = IdentityCache()
 
 
-def _normalized_graph(graph: Graph) -> Graph:
+def normalized_graph(graph: Graph) -> Graph:
+    """The per-process normalized twin of ``graph`` (memoised by identity).
+
+    Public because the parallel runtime plans stage keys over the *same*
+    normalized instance a ``LumosSystem`` would train on — sharing the memo
+    keeps the graph-fingerprint cache hot across planner and systems.
+    """
     normalized = _normalized_graphs.get(graph)
     if normalized is None:
         normalized = _normalized_graphs.put(graph, graph.normalized_features(0.0, 1.0))
     return normalized
+
+
+_normalized_graph = normalized_graph
 
 
 @dataclass
@@ -119,6 +128,15 @@ class LumosSystem:
     # ------------------------------------------------------------------ #
     def _stage(self, name: str):
         return self.pipeline.run(self._context, through=name).artifacts[name]
+
+    def advance(self, through: str):
+        """Run the pipeline up to and including stage ``through`` (cached).
+
+        Returns that stage's artifact.  The parallel runtime uses this to
+        compute a shared stage prefix once before fanning work items out to
+        worker processes.
+        """
+        return self._stage(through)
 
     def construct_trees(self) -> TreeConstructionResult:
         """Run the heterogeneity-aware tree constructor (cached)."""

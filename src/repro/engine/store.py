@@ -69,7 +69,8 @@ class ArtifactStore:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, StoredArtifact]" = OrderedDict()
-        self.stats: Dict[str, StageStats] = {}
+        self.stage_stats: Dict[str, StageStats] = {}
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # Entry access
@@ -87,6 +88,7 @@ class ArtifactStore:
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             evicted_key, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
             self._on_evict(evicted_key, evicted)
 
     def _on_evict(self, key: str, artifact: StoredArtifact) -> None:
@@ -101,15 +103,16 @@ class ArtifactStore:
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         self._entries.clear()
-        self.stats.clear()
+        self.stage_stats.clear()
+        self.evictions = 0
 
     # ------------------------------------------------------------------ #
     # Accounting
     # ------------------------------------------------------------------ #
     def _stats_for(self, stage: str) -> StageStats:
-        if stage not in self.stats:
-            self.stats[stage] = StageStats()
-        return self.stats[stage]
+        if stage not in self.stage_stats:
+            self.stage_stats[stage] = StageStats()
+        return self.stage_stats[stage]
 
     def record_hit(self, stage: str) -> None:
         self._stats_for(stage).hits += 1
@@ -119,17 +122,33 @@ class ArtifactStore:
 
     def hit_count(self, stage: str) -> int:
         """Cache hits recorded for ``stage``."""
-        return self.stats.get(stage, StageStats()).hits
+        return self.stage_stats.get(stage, StageStats()).hits
 
     def miss_count(self, stage: str) -> int:
         """Cache misses (i.e. actual computations) recorded for ``stage``."""
-        return self.stats.get(stage, StageStats()).misses
+        return self.stage_stats.get(stage, StageStats()).misses
 
     def summary(self) -> Dict[str, Dict[str, int]]:
         """Hit/miss counters per stage, as plain dictionaries."""
         return {
             stage: {"hits": stats.hits, "misses": stats.misses}
-            for stage, stats in sorted(self.stats.items())
+            for stage, stats in sorted(self.stage_stats.items())
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """One-call snapshot of the store's effectiveness counters.
+
+        ``hits`` / ``misses`` aggregate over stages; ``evictions`` counts
+        entries pushed out of the in-memory LRU.  Subclasses extend the
+        snapshot (spill traffic, byte footprint) — benchmarks report it per
+        run so cache effectiveness is visible next to the timings.
+        """
+        return {
+            "entries": len(self._entries),
+            "hits": sum(stats.hits for stats in self.stage_stats.values()),
+            "misses": sum(stats.misses for stats in self.stage_stats.values()),
+            "evictions": self.evictions,
+            "per_stage": self.summary(),
         }
 
 
@@ -167,6 +186,12 @@ class DiskSpillStore(ArtifactStore):
         self._total_bytes = 0
         self.spill_writes = 0
         self.spill_loads = 0
+        # Keys this instance has durably published (written or successfully
+        # loaded).  Only they may skip the atomic re-publish on eviction:
+        # a bare ``path.exists()`` is not a guarantee — another process may
+        # have unlinked the file (corruption cleanup) between our check and
+        # a reader's open.
+        self._published: set = set()
 
     # ------------------------------------------------------------------ #
     # Entry access
@@ -201,6 +226,9 @@ class DiskSpillStore(ArtifactStore):
         super().clear()
         self._sizes.clear()
         self._total_bytes = 0
+        self._published.clear()
+        self.spill_writes = 0
+        self.spill_loads = 0
         for path in self.directory.glob("*.npz"):
             try:
                 path.unlink()
@@ -212,6 +240,16 @@ class DiskSpillStore(ArtifactStore):
         """Estimated footprint of the entries currently held in memory."""
         return self._total_bytes
 
+    def stats(self) -> Dict[str, Any]:
+        """Extend the base snapshot with spill traffic and byte footprint."""
+        snapshot = super().stats()
+        snapshot.update(
+            spill_writes=self.spill_writes,
+            spill_loads=self.spill_loads,
+            in_memory_bytes=self._total_bytes,
+        )
+        return snapshot
+
     # ------------------------------------------------------------------ #
     # Spill mechanics
     # ------------------------------------------------------------------ #
@@ -222,13 +260,20 @@ class DiskSpillStore(ArtifactStore):
     def _spill_over_budget(self) -> None:
         while self._total_bytes > self.max_bytes and self._entries:
             key, artifact = self._entries.popitem(last=False)
+            self.evictions += 1
             self._on_evict(key, artifact)
 
     def _write(self, key: str, artifact: StoredArtifact) -> None:
-        if self._path_for(key).exists():
-            # Entries are immutable under their content key; the bytes on
-            # disk are already current (e.g. a reloaded entry being evicted
-            # again).
+        path = self._path_for(key)
+        if key in self._published and path.exists():
+            # Entries are immutable under their content key and this
+            # instance already published (or verified) the bytes — the file
+            # on disk is current (e.g. a reloaded entry being evicted
+            # again).  Any key we did *not* publish ourselves is re-written
+            # below even if a file exists: the replace is atomic and
+            # content-identical, so racing writers are harmless, while
+            # skipping on a stale ``exists()`` observation could strand the
+            # key with no file at all.
             return
         payload = np.frombuffer(
             pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
@@ -240,13 +285,31 @@ class DiskSpillStore(ArtifactStore):
             key=np.frombuffer(key.encode("utf-8"), dtype=np.uint8),
             payload=payload,
         )
-        path = self._path_for(key)
-        # Per-process temp name: concurrent writers of one key (two sweeps
-        # sharing a spill directory) must not interleave into one file.
+        # Per-process temp name: concurrent writers of one key (two sweeps,
+        # a scheduler's worker pool) must not interleave into one file; the
+        # final rename publishes a complete file atomically, so readers in
+        # other processes see either the previous complete file or this one,
+        # never a torn write (stress-tested by
+        # ``tests/test_store_concurrency.py``).
         temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         temporary.write_bytes(buffer.getvalue())
         temporary.replace(path)  # atomic publish for cross-process readers
+        self._published.add(key)
         self.spill_writes += 1
+
+    def persist(self, key: str) -> bool:
+        """Force-publish the entry under ``key`` to disk (without evicting).
+
+        Returns ``True`` when the key is durably on disk afterwards.  This
+        is the hand-off primitive of the parallel runtime: the scheduler
+        persists the shared pipeline prefix (and workers persist their
+        results) so any process pointed at the directory can hydrate them.
+        """
+        artifact = self._entries.get(key)
+        if artifact is not None:
+            self._write(key, artifact)
+            return True
+        return self._path_for(key).exists()
 
     def _load(self, path: Path, key: str) -> Optional[StoredArtifact]:
         usable = False
@@ -257,6 +320,7 @@ class DiskSpillStore(ArtifactStore):
                 if version_ok and stored_key == key:
                     artifact = pickle.loads(archive["payload"].tobytes())
                     usable = True
+                    self._published.add(key)
                     return artifact
                 return None
         except Exception:
@@ -265,9 +329,10 @@ class DiskSpillStore(ArtifactStore):
             if not usable:
                 # Any unusable file — truncated archive, stale format or
                 # pickle from an older revision, digest collision — degrades
-                # to a cache miss AND is dropped, so a later eviction can
-                # re-publish the key (``_write`` skips existing paths) and
-                # ``__contains__`` stops advertising an unloadable entry.
+                # to a cache miss AND is dropped, so a later eviction
+                # re-publishes the key and ``__contains__`` stops
+                # advertising an unloadable entry.
+                self._published.discard(key)
                 try:
                     path.unlink()
                 except OSError:

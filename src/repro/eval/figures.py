@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -50,6 +51,7 @@ def figure3(
     datasets: tuple = DATASETS,
     backbones: tuple = ("gcn", "gat"),
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, float]]:
     """Label classification accuracy: Lumos vs Centralized vs LPGNN vs Naive FedGNN."""
     results: Dict[str, Dict[str, float]] = {}
@@ -57,7 +59,9 @@ def figure3(
     for dataset in datasets:
         for backbone in backbones:
             key = f"{dataset}/{backbone}"
-            results[key] = runner.run_supervised_comparison(dataset, backbone, scale)
+            results[key] = runner.run_supervised_comparison(
+                dataset, backbone, scale, executor=executor
+            )
             rows.append(
                 [
                     dataset,
@@ -86,6 +90,7 @@ def figure4(
     datasets: tuple = DATASETS,
     backbones: tuple = ("gcn", "gat"),
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, float]]:
     """Link prediction ROC-AUC: Lumos vs Centralized vs Naive FedGNN."""
     results: Dict[str, Dict[str, float]] = {}
@@ -93,7 +98,9 @@ def figure4(
     for dataset in datasets:
         for backbone in backbones:
             key = f"{dataset}/{backbone}"
-            results[key] = runner.run_unsupervised_comparison(dataset, backbone, scale)
+            results[key] = runner.run_unsupervised_comparison(
+                dataset, backbone, scale, executor=executor
+            )
             rows.append(
                 [
                     dataset,
@@ -117,13 +124,17 @@ def figure5(
     datasets: tuple = DATASETS,
     epsilons: tuple = (0.5, 1.0, 2.0, 4.0),
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, Dict[float, float]]]:
     """Effect of epsilon on Lumos accuracy (supervised) and AUC (unsupervised)."""
     results: Dict[str, Dict[str, Dict[float, float]]] = {"supervised": {}, "unsupervised": {}}
     for task in ("supervised", "unsupervised"):
         rows = []
         for dataset in datasets:
-            sweep = runner.run_epsilon_sweep(dataset, task=task, epsilons=list(epsilons), scale=scale)
+            sweep = runner.run_epsilon_sweep(
+                dataset, task=task, epsilons=list(epsilons), scale=scale,
+                executor=executor,
+            )
             results[task][dataset] = sweep
             rows.append([dataset] + [sweep[e] for e in epsilons])
         if verbose:
@@ -141,6 +152,7 @@ def figure6(
     datasets: tuple = DATASETS,
     backbones: tuple = ("gcn", "gat"),
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Accuracy contribution of virtual nodes and tree trimming."""
     results: Dict[str, Dict[str, Dict[str, float]]] = {"supervised": {}, "unsupervised": {}}
@@ -149,7 +161,10 @@ def figure6(
         for dataset in datasets:
             for backbone in backbones:
                 key = f"{dataset}/{backbone}"
-                ablation = runner.run_ablation(dataset, task=task, backbone=backbone, scale=scale)
+                ablation = runner.run_ablation(
+                    dataset, task=task, backbone=backbone, scale=scale,
+                    executor=executor,
+                )
                 results[task][key] = ablation
                 rows.append(
                     [
@@ -178,11 +193,12 @@ def figure7(
     scale: runner.ExperimentScale = runner.ExperimentScale(),
     datasets: tuple = DATASETS,
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, object]]:
     """Workload distribution with and without tree trimming."""
     results: Dict[str, Dict[str, object]] = {}
     for dataset in datasets:
-        analysis = runner.run_workload_analysis(dataset, scale=scale)
+        analysis = runner.run_workload_analysis(dataset, scale=scale, executor=executor)
         trimmed = analysis["lumos"]
         untrimmed = analysis["lumos_wo_tt"]
         results[dataset] = {
@@ -213,12 +229,13 @@ def figure8(
     scale: runner.ExperimentScale = runner.ExperimentScale(),
     datasets: tuple = DATASETS,
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-epoch communication rounds and simulated training time, with/without TT."""
     results: Dict[str, Dict[str, float]] = {}
     rows = []
     for dataset in datasets:
-        cost = runner.run_system_cost(dataset, scale=scale)
+        cost = runner.run_system_cost(dataset, scale=scale, executor=executor)
         for task in ("supervised", "unsupervised"):
             with_tt = cost["lumos"][f"{task}_rounds_per_device"]
             without_tt = cost["lumos_wo_tt"][f"{task}_rounds_per_device"]
@@ -273,9 +290,10 @@ def headline_summary(
     scale: runner.ExperimentScale = runner.ExperimentScale(),
     dataset: str = "facebook",
     verbose: bool = True,
+    executor: runner.ExecutorArg = None,
 ) -> Dict[str, float]:
     """Accuracy gain vs the federated baseline and the tree-trimming savings."""
-    summary = runner.run_headline_summary(dataset, scale=scale)
+    summary = runner.run_headline_summary(dataset, scale=scale, executor=executor)
     if verbose:
         print("\n[Headline] Abstract claims (paper: +39.48% acc, -35.16% rounds, -17.74% time)")
         print(summarize_comparison(
@@ -306,13 +324,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("figure", choices=sorted(FIGURES) + ["all"], help="which figure to run")
     parser.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
     parser.add_argument("--json", dest="as_json", action="store_true", help="dump results as JSON")
+    parser.add_argument("--executor", default="serial", choices=["serial", "process"],
+                        help="schedule independent experiment arms across a "
+                             "worker-process pool (results are identical)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size (implies --executor process)")
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        args.executor = "process"
 
     scale = _scale_from_name(args.scale)
     selected = sorted(FIGURES) if args.figure == "all" else [args.figure]
     collected = {}
-    for name in selected:
-        collected[name] = FIGURES[name](scale=scale)
+    with tempfile.TemporaryDirectory(prefix="repro-figures-") as spill_dir:
+        if args.executor == "process":
+            # One spill directory for the whole invocation, so every run_*
+            # call (and every figure, under "all") reuses the warm pipeline
+            # prefix — the parallel analogue of the serial path's
+            # process-wide default store.
+            from ..runtime import ProcessExecutor
+
+            executor = ProcessExecutor(max_workers=args.workers, spill_dir=spill_dir)
+        else:
+            executor = runner.resolve_executor(args.executor, args.workers)
+        for name in selected:
+            collected[name] = FIGURES[name](scale=scale, executor=executor)
     if args.as_json:
         print(json.dumps(_to_jsonable(collected), indent=2))
     return 0

@@ -10,12 +10,25 @@ content-keyed :class:`~repro.engine.store.ArtifactStore`, so stages whose
 inputs do not change between sweep points (e.g. tree construction across an
 epsilon sweep, the whole pre-training pipeline across a backbone sweep) are
 computed once and replayed bit-for-bit afterwards.
+
+Every entry point also takes an ``executor=`` knob (default ``"serial"``,
+the in-process loop below).  ``executor="process"`` (optionally with
+``max_workers=``) schedules the independent arms — sweep points, ablation
+variants, baseline comparisons — across a worker-process pool via
+:mod:`repro.runtime`: the shared pipeline prefix is computed once and handed
+to workers through a disk-spill store, and the merged results are
+bit-for-bit identical to the serial path (metrics, canonical ledger
+transcripts, accountant totals).  An :class:`~repro.runtime.executor.Executor`
+instance is accepted too (e.g. to pin a spill directory, retries or
+timeouts, or to inspect scheduling statistics afterwards).  The ``store=``
+parameter only affects the serial path — worker processes always hydrate
+from the executor's shared spill store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -27,10 +40,23 @@ from ..baselines import (
     train_naive_fedgnn_unsupervised,
 )
 from ..core import LumosSystem, default_config_for
-from ..core.config import LumosConfig
+from ..core.config import LumosConfig, RuntimeConfig
 from ..engine import ArtifactStore, default_store
 from ..graph import Graph, load_dataset, split_edges, split_nodes
+from ..runtime import (
+    BaselineItem,
+    Executor,
+    GraphSpec,
+    LumosItem,
+    WorkPlan,
+    resolve_executor,
+)
 from .metrics import relative_change
+
+#: Type of the ``executor=`` knob shared by every entry point: an executor
+#: name, an :class:`~repro.runtime.executor.Executor` instance, or a
+#: recorded preference (``config.runtime``).
+ExecutorArg = Union[str, Executor, RuntimeConfig, None]
 
 
 @dataclass(frozen=True)
@@ -62,6 +88,27 @@ def _prepare(dataset: str, scale: ExperimentScale) -> Graph:
     return load_dataset(dataset, seed=scale.seed, num_nodes=scale.num_nodes)
 
 
+def _graph_spec(dataset: str, scale: ExperimentScale) -> GraphSpec:
+    """The picklable recipe workers rebuild ``_prepare``'s graph from."""
+    return GraphSpec(dataset=dataset, seed=scale.seed, num_nodes=scale.num_nodes)
+
+
+def _lumos_item(
+    dataset: str,
+    scale: ExperimentScale,
+    task: str,
+    config: LumosConfig,
+    label: str,
+) -> LumosItem:
+    return LumosItem(
+        graph_spec=_graph_spec(dataset, scale),
+        config=config,
+        task=task,
+        split_seed=scale.seed,
+        label=label,
+    )
+
+
 def _lumos_config(dataset: str, scale: ExperimentScale, backbone: str, epsilon: float = 2.0) -> LumosConfig:
     return (
         default_config_for(dataset)
@@ -76,14 +123,57 @@ def _lumos_config(dataset: str, scale: ExperimentScale, backbone: str, epsilon: 
 # --------------------------------------------------------------------------- #
 # Fig. 3 — supervised accuracy comparison
 # --------------------------------------------------------------------------- #
+def _comparison_parallel(
+    dataset: str,
+    backbone: str,
+    scale: ExperimentScale,
+    methods: List[str],
+    task: str,
+    executor: Executor,
+) -> Dict[str, float]:
+    """Process-pool path shared by the Fig. 3 / Fig. 4 comparisons."""
+    spec = _graph_spec(dataset, scale)
+    plan = WorkPlan()
+    keys: Dict[str, str] = {}
+    for method in methods:
+        if method == "lumos":
+            keys[method] = plan.add(
+                _lumos_item(
+                    dataset, scale, task,
+                    _lumos_config(dataset, scale, backbone),
+                    label=f"lumos/{task}/{dataset}/{backbone}",
+                )
+            )
+        else:
+            keys[method] = plan.add(
+                BaselineItem(
+                    method=method,
+                    task=task,
+                    graph_spec=spec,
+                    backbone=backbone,
+                    epochs=scale.epochs,
+                    seed=scale.seed,
+                    split_seed=scale.seed,
+                    label=f"{method}/{task}/{dataset}/{backbone}",
+                )
+            )
+    report = executor.execute(plan)
+    return {method: report.records[key].value for method, key in keys.items()}
+
+
 def run_supervised_comparison(
     dataset: str,
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
     methods: Optional[List[str]] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Test accuracy of Lumos and the baselines on one dataset + backbone."""
     methods = methods or ["lumos", "centralized", "lpgnn", "naive_fedgnn"]
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        return _comparison_parallel(dataset, backbone, scale, methods, "supervised", resolved)
     graph = _prepare(dataset, scale)
     split = split_nodes(graph, seed=scale.seed)
     results: Dict[str, float] = {}
@@ -114,9 +204,14 @@ def run_unsupervised_comparison(
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
     methods: Optional[List[str]] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Test ROC-AUC of Lumos, centralized and naive FedGNN."""
     methods = methods or ["lumos", "centralized", "naive_fedgnn"]
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        return _comparison_parallel(dataset, backbone, scale, methods, "unsupervised", resolved)
     graph = _prepare(dataset, scale)
     edge_split = split_edges(graph, seed=scale.seed)
     results: Dict[str, float] = {}
@@ -145,14 +240,33 @@ def run_epsilon_sweep(
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
     store: Optional[ArtifactStore] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[float, float]:
     """Lumos accuracy / AUC as a function of the privacy budget ``epsilon``.
 
     Epsilon only affects the LDP exchange onwards: the partition and the tree
     construction are computed for the first point and replayed from the
-    artifact store for every other point.
+    artifact store for every other point.  Under ``executor="process"`` the
+    shared prefix is computed once and the per-point thresholding + training
+    fan out across workers (results bit-for-bit identical to serial).
     """
     epsilons = epsilons or [0.5, 1.0, 2.0, 4.0]
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        plan = WorkPlan()
+        keys = {
+            epsilon: plan.add(
+                _lumos_item(
+                    dataset, scale, task,
+                    _lumos_config(dataset, scale, backbone, epsilon=epsilon),
+                    label=f"sweep/{task}/{dataset}/eps={epsilon}",
+                )
+            )
+            for epsilon in epsilons
+        }
+        report = resolved.execute(plan)
+        return {epsilon: report.records[key].value for epsilon, key in keys.items()}
     store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
     results: Dict[float, float] = {}
@@ -178,19 +292,37 @@ def run_ablation(
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
     store: Optional[ArtifactStore] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Lumos vs Lumos w.o. virtual nodes vs Lumos w.o. tree trimming.
 
     The three variants share the node-level partition (and, where the
     constructor configuration matches, the construction) via the store.
+    Under ``executor="process"`` each arm — including its per-arm tree
+    construction — runs on its own worker.
     """
-    store = store if store is not None else default_store()
-    graph = _prepare(dataset, scale)
     configs = {
         "lumos": _lumos_config(dataset, scale, backbone),
         "lumos_wo_vn": _lumos_config(dataset, scale, backbone).without_virtual_nodes(),
         "lumos_wo_tt": _lumos_config(dataset, scale, backbone).without_tree_trimming(),
     }
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        plan = WorkPlan()
+        keys = {
+            name: plan.add(
+                _lumos_item(
+                    dataset, scale, task, config,
+                    label=f"ablation/{task}/{dataset}/{name}",
+                )
+            )
+            for name, config in configs.items()
+        }
+        report = resolved.execute(plan)
+        return {name: report.records[key].value for name, key in keys.items()}
+    store = store if store is not None else default_store()
+    graph = _prepare(dataset, scale)
     results: Dict[str, float] = {}
     for name, config in configs.items():
         system = LumosSystem(graph, config, store=store)
@@ -210,10 +342,31 @@ def run_workload_analysis(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
     store: Optional[ArtifactStore] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, np.ndarray]:
     """Per-device workload arrays for Lumos and Lumos w.o. TT."""
-    store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        plan = WorkPlan()
+        keys = {
+            name: plan.add(
+                _lumos_item(
+                    dataset, scale, "workload", config,
+                    label=f"workload/{dataset}/{name}",
+                )
+            )
+            for name, config in (
+                ("lumos", _lumos_config(dataset, scale, "gcn")),
+                ("lumos_wo_tt", _lumos_config(dataset, scale, "gcn").without_tree_trimming()),
+            )
+        }
+        report = resolved.execute(plan)
+        results = {name: report.records[key].value for name, key in keys.items()}
+        results["degrees"] = graph.degrees()
+        return results
+    store = store if store is not None else default_store()
     trimmed = LumosSystem(graph, _lumos_config(dataset, scale, "gcn"), store=store)
     untrimmed = LumosSystem(
         graph, _lumos_config(dataset, scale, "gcn").without_tree_trimming(), store=store
@@ -232,15 +385,32 @@ def run_system_cost(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
     store: Optional[ArtifactStore] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Per-epoch communication rounds and simulated epoch time, with/without TT."""
+    variants = (
+        ("lumos", _lumos_config(dataset, scale, "gcn")),
+        ("lumos_wo_tt", _lumos_config(dataset, scale, "gcn").without_tree_trimming()),
+    )
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is not None:
+        plan = WorkPlan()
+        keys = {
+            name: plan.add(
+                _lumos_item(
+                    dataset, scale, "system_cost", config,
+                    label=f"system_cost/{dataset}/{name}",
+                )
+            )
+            for name, config in variants
+        }
+        report = resolved.execute(plan)
+        return {name: report.records[key].value for name, key in keys.items()}
     store = store if store is not None else default_store()
     graph = _prepare(dataset, scale)
     results: Dict[str, Dict[str, float]] = {}
-    for name, config in (
-        ("lumos", _lumos_config(dataset, scale, "gcn")),
-        ("lumos_wo_tt", _lumos_config(dataset, scale, "gcn").without_tree_trimming()),
-    ):
+    for name, config in variants:
         system = LumosSystem(graph, config, store=store)
         trainer = system.trainer()
         entry: Dict[str, float] = {}
@@ -260,6 +430,8 @@ def run_headline_summary(
     dataset: str = "facebook",
     backbone: str = "gcn",
     scale: ExperimentScale = ExperimentScale(),
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
 ) -> Dict[str, float]:
     """Reproduce the abstract's three headline numbers on one dataset.
 
@@ -267,10 +439,12 @@ def run_headline_summary(
     * reduction of inter-device communication rounds from tree trimming,
     * reduction of training time from tree trimming.
     """
+    resolved = resolve_executor(executor, max_workers)
     supervised = run_supervised_comparison(
-        dataset, backbone=backbone, scale=scale, methods=["lumos", "naive_fedgnn"]
+        dataset, backbone=backbone, scale=scale, methods=["lumos", "naive_fedgnn"],
+        executor=resolved,
     )
-    system_cost = run_system_cost(dataset, scale=scale)
+    system_cost = run_system_cost(dataset, scale=scale, executor=resolved)
     accuracy_gain = relative_change(supervised["naive_fedgnn"], supervised["lumos"])
     rounds_saving = -relative_change(
         system_cost["lumos_wo_tt"]["supervised_rounds_per_device"],

@@ -1,0 +1,56 @@
+"""Parallel execution runtime: a multi-process scheduler over the engine.
+
+The engine (:mod:`repro.engine`) made the expensive pipeline phases
+content-keyed and replayable; this package makes them *schedulable*.
+Independent engine invocations — epsilon-sweep points, ablation arms,
+baseline comparisons, figure grids — become picklable
+:class:`~repro.runtime.items.WorkItem` objects collected in a deduplicating
+:class:`~repro.runtime.plan.WorkPlan`; an
+:class:`~repro.runtime.executor.Executor` then runs the plan either inline
+(:class:`~repro.runtime.executor.SerialExecutor`) or across a worker pool
+(:class:`~repro.runtime.executor.ProcessExecutor`) that computes the shared
+pipeline prefix once, hands it to workers through a
+:class:`~repro.engine.store.DiskSpillStore`, retries crashed or timed-out
+items, and merges results deterministically — bit-for-bit identical to the
+serial path.  ``docs/architecture.md`` §8 describes the contracts.
+"""
+
+from .executor import (
+    DEFAULT_STORE_BYTES,
+    Executor,
+    ItemRecord,
+    ProcessExecutor,
+    RuntimeReport,
+    SerialExecutor,
+    WorkItemFailure,
+    resolve_executor,
+)
+from .items import (
+    BaselineItem,
+    CallableItem,
+    GraphSpec,
+    LumosItem,
+    WorkItem,
+    execute_item,
+)
+from .plan import WarmupRun, WorkPlan, shared_prefix_plan
+
+__all__ = [
+    "BaselineItem",
+    "CallableItem",
+    "DEFAULT_STORE_BYTES",
+    "Executor",
+    "GraphSpec",
+    "ItemRecord",
+    "LumosItem",
+    "ProcessExecutor",
+    "RuntimeReport",
+    "SerialExecutor",
+    "WarmupRun",
+    "WorkItem",
+    "WorkItemFailure",
+    "WorkPlan",
+    "execute_item",
+    "resolve_executor",
+    "shared_prefix_plan",
+]

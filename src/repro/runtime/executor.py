@@ -1,0 +1,450 @@
+"""Executors: where a work plan's items actually run.
+
+Two implementations share one contract:
+
+* :class:`SerialExecutor` — items run inline, in plan order, against one
+  shared artifact store.  This is the reference semantics.
+* :class:`ProcessExecutor` — items run across a pool of worker processes.
+  The scheduler first computes the plan's shared pipeline prefix once
+  (:func:`~repro.runtime.plan.shared_prefix_plan`) into a
+  :class:`~repro.engine.store.DiskSpillStore` directory, then dispatches
+  items one at a time to idle workers, tracking exactly which item is
+  in flight on which process.  A worker that crashes or exceeds its
+  timeout is killed and replaced, and its item is re-dispatched up to
+  ``retries`` times; an item that still fails is *reported* (and, under
+  ``strict``, raised) — never silently dropped.
+
+The determinism contract both executors honour: for every item, the
+returned :class:`ItemRecord`'s ``value``, ``ledger_summary``,
+``transcript_digest`` / ``ledger_records``, ``accountant`` and
+``rng_state`` are bit-for-bit identical regardless of executor, worker
+count, scheduling order or retries.  That holds because items are
+self-contained (each builds its own environment and RNG from its config)
+and because the engine's artifact replay is itself bit-for-bit — a worker
+hydrating a cached construction is indistinguishable from one that
+computed it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import sys
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.config import RuntimeConfig
+from ..engine.store import ArtifactStore
+from .items import WorkItem, execute_item
+from .plan import WorkPlan, shared_prefix_plan
+from .worker import DONE, open_worker_store, result_key, worker_main
+
+#: Default byte budget of the shared spill store (scheduler and workers).
+DEFAULT_STORE_BYTES = 256 * 1024 * 1024
+
+#: How often the scheduler polls the result queue / worker liveness.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class ItemRecord:
+    """Outcome of one executed work item (see the payload schema in
+    :mod:`repro.runtime.items`).  ``attempts``/``worker``/``duration`` are
+    scheduling metadata and deliberately excluded from any equivalence
+    notion — everything else is covered by the determinism contract."""
+
+    key: str
+    label: str
+    value: Any
+    ledger_summary: Optional[dict]
+    transcript_digest: Optional[str]
+    ledger_records: Optional[tuple]
+    accountant: Optional[dict]
+    rng_state: Optional[dict]
+    attempts: int = 1
+    worker: Optional[int] = None
+    duration: float = 0.0
+
+    @classmethod
+    def from_payload(cls, item: WorkItem, payload: dict, **metadata) -> "ItemRecord":
+        return cls(
+            key=item.key(),
+            label=item.label or type(item).__name__,
+            value=payload["value"],
+            ledger_summary=payload["ledger_summary"],
+            transcript_digest=payload["transcript_digest"],
+            ledger_records=payload["ledger_records"],
+            accountant=payload["accountant"],
+            rng_state=payload["rng_state"],
+            **metadata,
+        )
+
+
+@dataclass
+class RuntimeReport:
+    """Everything an execution produced: records per item key, failures per
+    item key (reason strings), and scheduler statistics."""
+
+    records: Dict[str, ItemRecord] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def value(self, key: str) -> Any:
+        return self.records[key].value
+
+
+class WorkItemFailure(RuntimeError):
+    """Raised by a strict executor when items failed after all retries."""
+
+    def __init__(self, failures: Dict[str, str], report: "RuntimeReport") -> None:
+        self.failures = failures
+        self.report = report
+        summary = "; ".join(
+            f"{key.split('/', 2)[-1][:60]}: {reason.strip().splitlines()[-1]}"
+            for key, reason in failures.items()
+        )
+        super().__init__(f"{len(failures)} work item(s) failed: {summary}")
+
+
+class Executor:
+    """Interface every executor implements."""
+
+    def execute(self, plan: WorkPlan) -> RuntimeReport:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run items inline, in plan order — the reference execution semantics.
+
+    One shared store serves every item, so the plan's shared stages dedupe
+    exactly like a serial sweep over one ``ArtifactStore`` always has.
+    """
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store
+
+    def execute(self, plan: WorkPlan) -> RuntimeReport:
+        store = self.store if self.store is not None else ArtifactStore(max_entries=256)
+        report = RuntimeReport(stats={"executor": "serial", "items": len(plan)})
+        started = time.perf_counter()
+        for item in plan.unique_items():
+            item_started = time.perf_counter()
+            payload = execute_item(item, store)
+            report.records[item.key()] = ItemRecord.from_payload(
+                item, payload, duration=time.perf_counter() - item_started
+            )
+        report.stats["wall_seconds"] = time.perf_counter() - started
+        report.stats["duplicate_requests"] = plan.duplicate_requests
+        return report
+
+
+class ProcessExecutor(Executor):
+    """Schedule items across a pool of worker processes.
+
+    Parameters mirror :class:`~repro.core.config.RuntimeConfig`:
+    ``max_workers`` (default ``os.cpu_count()``), ``retries`` (re-dispatch
+    budget for crashed/timed-out items), ``timeout`` (per-item wall-clock
+    budget; item-level ``timeout`` overrides).  ``spill_dir`` pins the
+    shared artifact directory (default: a temporary directory per
+    ``execute`` call, removed afterwards); ``strict`` raises
+    :class:`WorkItemFailure` when any item remains failed.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+        spill_dir: Optional[str] = None,
+        store_bytes: int = DEFAULT_STORE_BYTES,
+        strict: bool = True,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.max_workers = max_workers
+        self.retries = retries
+        self.timeout = timeout
+        self.spill_dir = spill_dir
+        self.store_bytes = store_bytes
+        self.strict = strict
+        self.start_method = start_method
+
+    @classmethod
+    def from_config(cls, config: RuntimeConfig, **overrides) -> "ProcessExecutor":
+        options = {
+            "max_workers": config.max_workers,
+            "retries": config.retries,
+            "timeout": config.timeout_seconds,
+        }
+        options.update(overrides)
+        return cls(**options)
+
+    # ------------------------------------------------------------------ #
+    # Orchestration
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: WorkPlan) -> RuntimeReport:
+        items = plan.unique_items()
+        report = RuntimeReport(
+            stats={
+                "executor": "process",
+                "items": len(items),
+                "duplicate_requests": plan.duplicate_requests,
+                "crashes": 0,
+                "timeouts": 0,
+                "retries_used": 0,
+            }
+        )
+        if not items:
+            return report
+        started = time.perf_counter()
+        cleanup = None
+        directory = self.spill_dir
+        if directory is None:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-runtime-")
+            directory = cleanup.name
+        try:
+            store = open_worker_store(directory, self.store_bytes)
+            warm_started = time.perf_counter()
+            report.stats["warmup_runs"] = self._warm_shared_prefix(items, store)
+            report.stats["warmup_seconds"] = time.perf_counter() - warm_started
+            self._run_pool(items, directory, store, report)
+            report.stats["store"] = store.stats()
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
+        report.stats["wall_seconds"] = time.perf_counter() - started
+        if report.failures and self.strict:
+            raise WorkItemFailure(report.failures, report)
+        return report
+
+    def _warm_shared_prefix(self, items: List[WorkItem], store: ArtifactStore) -> int:
+        """Compute each shared stage prefix once and persist it for workers."""
+        from ..core.lumos import LumosSystem
+
+        runs = shared_prefix_plan(items)
+        for run in runs:
+            graph = run.item.graph_spec.load()
+            system = LumosSystem(graph, run.item.config, store=store)
+            system.advance(run.through)
+            for key in run.persist_keys:
+                store.persist(key)
+        return len(runs)
+
+    def _mp_context(self):
+        if self.start_method is not None:
+            return multiprocessing.get_context(self.start_method)
+        # On Linux, fork keeps warm per-process caches (loaded graphs,
+        # backend state) visible to workers for free.  Everywhere else use
+        # the platform default (spawn on Windows *and* macOS — forking a
+        # process that touched Accelerate/ObjC is unsafe there, which is
+        # why CPython switched its own default): items are self-contained
+        # and importable-by-name, so any start method works.
+        if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _run_pool(
+        self,
+        items: List[WorkItem],
+        directory: str,
+        store: ArtifactStore,
+        report: RuntimeReport,
+    ) -> None:
+        context = self._mp_context()
+        worker_count = min(self.max_workers or os.cpu_count() or 1, len(items))
+        result_queue = context.Queue()
+        workers: Dict[int, Any] = {}
+        task_queues: Dict[int, Any] = {}
+        # worker id -> (dispatch ticket, item, started, deadline).  Tickets
+        # disambiguate a live dispatch from a stale result: a worker we
+        # killed at its deadline may have flushed a result message first,
+        # and that message must not be attributed to whatever the respawned
+        # worker is running now.
+        inflight: Dict[int, Tuple[int, WorkItem, float, float]] = {}
+        attempts: Dict[str, int] = {}
+        pending = deque(items)
+        done_keys: set = set()
+        respawns = 0
+        next_ticket = 0
+        max_respawns = max(4, 2 * (self.retries + 1) * len(items))
+
+        def spawn(worker_id: int) -> None:
+            task_queues[worker_id] = context.Queue()
+            process = context.Process(
+                target=worker_main,
+                args=(worker_id, task_queues[worker_id], result_queue,
+                      directory, self.store_bytes),
+                daemon=True,
+            )
+            process.start()
+            workers[worker_id] = process
+
+        def dispatch(worker_id: int) -> None:
+            nonlocal next_ticket
+            item = pending.popleft()
+            key = item.key()
+            attempts[key] = attempts.get(key, 0) + 1
+            timeout = item.timeout if item.timeout is not None else self.timeout
+            deadline = time.monotonic() + timeout if timeout is not None else float("inf")
+            next_ticket += 1
+            task_queues[worker_id].put((next_ticket, item))
+            inflight[worker_id] = (next_ticket, item, time.perf_counter(), deadline)
+
+        def give_up_or_retry(item: WorkItem, reason: str) -> None:
+            key = item.key()
+            if attempts.get(key, 0) <= self.retries:
+                report.stats["retries_used"] += 1
+                pending.appendleft(item)
+            else:
+                report.failures[key] = reason
+
+        def reap(worker_id: int, kill: bool) -> None:
+            process = workers.pop(worker_id)
+            if kill and process.is_alive():
+                process.kill()
+            process.join(timeout=5.0)
+            task_queues.pop(worker_id, None)
+
+        for worker_id in range(worker_count):
+            spawn(worker_id)
+
+        try:
+            while len(done_keys) + len(report.failures) < len(items):
+                # Keep every idle worker busy.  The liveness pre-check
+                # avoids feeding a corpse (which would burn one of the
+                # item's retry attempts on a death that predates it); a
+                # worker dying in the instant after the check is handled by
+                # the liveness pass like any mid-item crash.
+                for worker_id in list(workers):
+                    if pending and worker_id not in inflight and workers[worker_id].is_alive():
+                        dispatch(worker_id)
+
+                # Collect finished work.
+                try:
+                    tag, worker_id, ticket, key, detail = result_queue.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    pass
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    # A worker killed mid-send can in principle leave a
+                    # partial message in the shared queue (our control
+                    # messages are far below PIPE_BUF, so single-write
+                    # atomicity makes this effectively theoretical).  Treat
+                    # it as "no message": the liveness/deadline pass below
+                    # owns recovery for whatever worker caused it.
+                    report.stats["queue_errors"] = report.stats.get("queue_errors", 0) + 1
+                else:
+                    entry = inflight.get(worker_id)
+                    if entry is None or entry[0] != ticket:
+                        # Stale flush from a worker we already gave up on
+                        # (timeout kill racing its send); the item was
+                        # re-dispatched or reported, so drop the message —
+                        # re-execution is deterministic either way.
+                        continue
+                    _, item, item_started, _ = inflight.pop(worker_id)
+                    if tag == DONE:
+                        artifact = store.get(result_key(key))
+                        if artifact is None:
+                            # The worker acknowledged but the payload never
+                            # became readable — treat like a crash.
+                            report.stats["crashes"] += 1
+                            give_up_or_retry(item, "result payload missing from store")
+                        else:
+                            done_keys.add(key)
+                            report.records[key] = ItemRecord.from_payload(
+                                item,
+                                artifact.value,
+                                attempts=attempts[key],
+                                worker=worker_id,
+                                duration=time.perf_counter() - item_started,
+                            )
+                    else:  # FAIL: deterministic in-worker exception
+                        report.failures[key] = detail
+                    continue
+
+                # Liveness and deadlines.
+                now = time.monotonic()
+                for worker_id in list(workers):
+                    process = workers[worker_id]
+                    entry = inflight.get(worker_id)
+                    if not process.is_alive():
+                        reap(worker_id, kill=False)
+                        if entry is not None:
+                            item = entry[1]
+                            del inflight[worker_id]
+                            report.stats["crashes"] += 1
+                            give_up_or_retry(
+                                item,
+                                f"worker process died (exit code {process.exitcode}) "
+                                f"while running {item.label or item.key()}",
+                            )
+                    elif entry is not None and now > entry[3]:
+                        item = entry[1]
+                        del inflight[worker_id]
+                        reap(worker_id, kill=True)
+                        report.stats["timeouts"] += 1
+                        give_up_or_retry(
+                            item,
+                            f"work item exceeded its {item.timeout or self.timeout}s "
+                            f"timeout: {item.label or item.key()}",
+                        )
+                    if worker_id not in workers and (pending or inflight):
+                        if respawns >= max_respawns:
+                            raise RuntimeError(
+                                "worker pool unstable: "
+                                f"{respawns} respawns for {len(items)} items"
+                            )
+                        respawns += 1
+                        spawn(worker_id)
+        finally:
+            for worker_id, process in list(workers.items()):
+                task_queue = task_queues.get(worker_id)
+                if task_queue is not None and process.is_alive():
+                    task_queue.put(None)
+            for process in workers.values():
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+            result_queue.close()
+            report.stats["respawns"] = respawns
+            report.stats["max_attempts"] = max(attempts.values(), default=0)
+
+
+def resolve_executor(
+    executor: Union[str, Executor, RuntimeConfig, None],
+    max_workers: Optional[int] = None,
+    **options,
+) -> Optional[Executor]:
+    """Resolve the ``executor=`` knob of the evaluation entry points.
+
+    ``None`` / ``"serial"`` mean the caller's inline loop (returns ``None``);
+    ``"process"`` builds a :class:`ProcessExecutor`; an :class:`Executor`
+    instance passes through so callers can inspect it (or share a spill
+    directory) across calls; a :class:`~repro.core.config.RuntimeConfig`
+    (e.g. ``config.with_executor("process", 4).runtime``) is expanded into
+    the executor it describes.
+    """
+    if executor is None or executor == "serial":
+        return None
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, RuntimeConfig):
+        if executor.executor == "serial":
+            return None
+        return ProcessExecutor.from_config(executor, **options)
+    if executor == "process":
+        return ProcessExecutor(max_workers=max_workers, **options)
+    raise ValueError(
+        f"unknown executor {executor!r}; use 'serial', 'process', a RuntimeConfig "
+        "or an Executor"
+    )

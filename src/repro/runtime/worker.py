@@ -1,0 +1,82 @@
+"""Worker-process side of the parallel runtime.
+
+Each worker is one OS process running :func:`worker_main`: it opens its own
+:class:`~repro.engine.store.DiskSpillStore` view onto the scheduler's shared
+spill directory, then serves work items from its private task queue until it
+receives the ``None`` sentinel.
+
+Result hand-off is two-channel by design:
+
+* the (potentially large) result payload is **persisted through the store**
+  under a key derived from the item's content key — the same atomic-publish
+  path cached pipeline artifacts use, so the control channel stays tiny;
+* a small control message (``done`` / ``fail``) travels over the result
+  queue so the scheduler can track liveness, retries and idle workers.
+
+A worker that dies mid-item (crash, kill, timeout) simply never sends the
+control message; the scheduler notices the dead process, re-dispatches the
+item elsewhere, and the engine's content-keyed caching makes the retry
+resume from whatever artifacts the first attempt already persisted.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Optional
+
+from ..engine.store import ArtifactStore, DiskSpillStore, StoredArtifact
+from .items import WorkItem, execute_item
+
+#: Control-message tags on the result queue.
+DONE = "done"
+FAIL = "fail"
+
+
+def result_key(item_key: str) -> str:
+    """Store key under which an item's result payload is published."""
+    return f"workitem-result/{item_key}"
+
+
+def open_worker_store(
+    spill_directory: Optional[str], max_bytes: int, max_entries: int = 256
+) -> ArtifactStore:
+    """The store a worker (or the scheduler) uses for artifact hand-off."""
+    if spill_directory is None:
+        return ArtifactStore(max_entries=max_entries)
+    return DiskSpillStore(spill_directory, max_bytes=max_bytes, max_entries=max_entries)
+
+
+def publish_result(store: ArtifactStore, item_key: str, payload: dict) -> None:
+    """Durably publish an item's payload for the scheduler to hydrate."""
+    key = result_key(item_key)
+    store.put(key, StoredArtifact(value=payload))
+    if isinstance(store, DiskSpillStore):
+        store.persist(key)
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    spill_directory: Optional[str],
+    store_bytes: int,
+) -> None:
+    """Serve work items until the ``None`` sentinel arrives."""
+    store = open_worker_store(spill_directory, store_bytes)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        ticket, item = task  # type: int, WorkItem
+        key = item.key()
+        try:
+            payload = execute_item(item, store)
+            publish_result(store, key, payload)
+            result_queue.put((DONE, worker_id, ticket, key, None))
+        except BaseException:
+            # In-process exceptions are deterministic item failures (they
+            # would fail identically on retry); ship the traceback so the
+            # scheduler can report them.  Hard crashes (os._exit, signals)
+            # never reach this handler — the scheduler detects those by
+            # process liveness instead.
+            result_queue.put((FAIL, worker_id, ticket, key, traceback.format_exc()))

@@ -44,4 +44,5 @@ def test_tracked_speedups_include_all_perf_sections():
         "mcmc_balancing",
         "greedy_initialization",
         "epsilon_sweep",
+        "parallel_sweep",
     }

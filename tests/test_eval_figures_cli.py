@@ -54,19 +54,23 @@ class TestFigureCLI:
         # training run; the real figure functions are covered above.
         calls = {}
 
-        def fake_figure(scale):
+        def fake_figure(scale, executor=None):
             calls["scale"] = scale
+            calls["executor"] = executor
             return {"facebook": {"max_with_trimming": 3.0}}
 
         monkeypatch.setitem(figures.FIGURES, "fig7", fake_figure)
         exit_code = figures.main(["fig7", "--scale", "small"])
         assert exit_code == 0
         assert calls["scale"].num_nodes == 300
+        assert calls["executor"] is None  # --executor serial is the default
         capsys.readouterr()  # drain output; JSON parsing is covered below
 
     def test_json_dump_parses(self, capsys, monkeypatch):
         monkeypatch.setitem(
-            figures.FIGURES, "fig8", lambda scale: {"x": np.float64(1.5), "y": np.array([1, 2])}
+            figures.FIGURES,
+            "fig8",
+            lambda scale, executor=None: {"x": np.float64(1.5), "y": np.array([1, 2])},
         )
         figures.main(["fig8", "--json"])
         output = capsys.readouterr().out

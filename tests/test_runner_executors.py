@@ -1,0 +1,141 @@
+"""Seeded serial-vs-process equivalence of the evaluation entry points.
+
+The runtime's determinism contract, exercised end to end at smoke scale:
+``executor="process"`` must produce **bit-for-bit** the same results as the
+default serial loop — the metrics the entry points return, and (via the
+work-item records) the canonical communication-ledger transcripts, the
+secure-comparison accountant totals and the final RNG state of every arm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import default_config_for
+from repro.engine import ArtifactStore
+from repro.eval.runner import (
+    ExperimentScale,
+    run_ablation,
+    run_epsilon_sweep,
+)
+from repro.runtime import (
+    GraphSpec,
+    LumosItem,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkPlan,
+)
+
+SCALE = ExperimentScale(num_nodes=40, epochs=3, mcmc_iterations=10, seed=0)
+EPSILONS = [0.5, 2.0]
+
+
+def _config(epsilon):
+    return (
+        default_config_for("facebook")
+        .with_mcmc_iterations(SCALE.mcmc_iterations)
+        .with_epochs(SCALE.epochs)
+        .with_epsilon(epsilon)
+        .with_seed(SCALE.seed)
+    )
+
+
+class TestRunnerEquivalence:
+    def test_epsilon_sweep_supervised(self):
+        serial = run_epsilon_sweep(
+            "facebook", epsilons=EPSILONS, scale=SCALE, store=ArtifactStore()
+        )
+        process = run_epsilon_sweep(
+            "facebook", epsilons=EPSILONS, scale=SCALE,
+            executor="process", max_workers=2,
+        )
+        assert serial == process
+        assert list(process) == EPSILONS  # merge preserves request order
+
+    def test_epsilon_sweep_unsupervised(self):
+        serial = run_epsilon_sweep(
+            "facebook", task="unsupervised", epsilons=EPSILONS, scale=SCALE,
+            store=ArtifactStore(),
+        )
+        process = run_epsilon_sweep(
+            "facebook", task="unsupervised", epsilons=EPSILONS, scale=SCALE,
+            executor="process", max_workers=2,
+        )
+        assert serial == process
+
+    def test_ablation(self):
+        serial = run_ablation("facebook", scale=SCALE, store=ArtifactStore())
+        process = run_ablation(
+            "facebook", scale=SCALE, executor="process", max_workers=2
+        )
+        assert serial == process
+        assert list(process) == ["lumos", "lumos_wo_vn", "lumos_wo_tt"]
+
+    def test_executor_instance_is_honoured_and_reusable(self, tmp_path):
+        executor = ProcessExecutor(max_workers=2, spill_dir=str(tmp_path))
+        first = run_epsilon_sweep(
+            "facebook", epsilons=EPSILONS, scale=SCALE, executor=executor
+        )
+        # The pinned spill directory now holds the shared prefix + results;
+        # a second call reuses the same executor (and warm artifacts).
+        assert any(tmp_path.glob("*.npz"))
+        second = run_epsilon_sweep(
+            "facebook", epsilons=EPSILONS, scale=SCALE, executor=executor
+        )
+        assert first == second
+
+
+class TestRecordEquivalence:
+    def test_transcripts_accountant_and_rng_state_match_bit_for_bit(self):
+        spec = GraphSpec(dataset="facebook", seed=0, num_nodes=40)
+        plan = WorkPlan()
+        for epsilon in EPSILONS:
+            plan.add(
+                LumosItem(
+                    graph_spec=spec, config=_config(epsilon), task="supervised",
+                    split_seed=SCALE.seed, keep_transcript=True,
+                    label=f"eps={epsilon}",
+                )
+            )
+        serial = SerialExecutor().execute(plan)
+        process = ProcessExecutor(max_workers=2).execute(plan)
+        assert set(serial.records) == set(process.records)
+        for key in plan.requests:
+            a, b = serial.records[key], process.records[key]
+            assert a.value == b.value
+            assert a.ledger_summary == b.ledger_summary
+            assert a.transcript_digest == b.transcript_digest
+            assert a.ledger_records == b.ledger_records
+            assert a.ledger_records is not None and len(a.ledger_records) > 0
+            assert a.accountant == b.accountant
+            assert a.rng_state == b.rng_state
+
+    def test_workload_arrays_match(self):
+        spec = GraphSpec(dataset="facebook", seed=0, num_nodes=40)
+        item = LumosItem(
+            graph_spec=spec, config=_config(2.0), task="workload", split_seed=0
+        )
+        plan = WorkPlan([item])
+        serial = SerialExecutor().execute(plan)
+        process = ProcessExecutor(max_workers=1).execute(plan)
+        assert np.array_equal(
+            serial.records[item.key()].value, process.records[item.key()].value
+        )
+
+    def test_process_pool_reports_warmup_and_store_stats(self):
+        spec = GraphSpec(dataset="facebook", seed=0, num_nodes=40)
+        plan = WorkPlan(
+            [
+                LumosItem(
+                    graph_spec=spec, config=_config(epsilon), task="supervised",
+                    split_seed=0, label=f"eps={epsilon}",
+                )
+                for epsilon in (0.5, 1.0, 2.0)
+            ]
+        )
+        report = ProcessExecutor(max_workers=2).execute(plan)
+        assert report.stats["warmup_runs"] == 1  # shared prefix computed once
+        store = report.stats["store"]
+        assert store["spill_writes"] > 0  # prefix + results published on disk
+        assert store["misses"] > 0
