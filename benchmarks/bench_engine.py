@@ -18,6 +18,7 @@ from repro.bench.engine import (  # noqa: E402,F401  (re-exported for tests)
     REGRESSION_TOLERANCE,
     TRACKED_SPEEDUPS,
     bench_parallel_sweep,
+    bench_secure_construction,
     check_trajectory,
     main as _main,
 )

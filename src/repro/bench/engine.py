@@ -15,6 +15,10 @@ any previously recorded speedup fails the run):
 * **greedy initialization** — the batched secure-comparison kernel (one
   vectorised comparison block, one columnar ledger event) vs the per-edge
   reference protocol loop;
+* **secure cold construction** — the batched vectorized-OT kernels (greedy
+  with executed table-OT blocks + the incremental balancer's batched secure
+  Alg. 3 path) vs the per-comparison reference protocol loops, asserted
+  bit-for-bit equivalent before timing;
 * **a 5-point epsilon sweep** — the engine path (shared artifact store,
   shared LDP draws, epsilon-free tree-batch key, fast backend) vs an
   emulation of the pre-refactor "seed" path (reference kernels, no artifact
@@ -80,6 +84,7 @@ TRACKED_SPEEDUPS = (
     "training_epoch",
     "mcmc_balancing",
     "greedy_initialization",
+    "secure_construction",
     "epsilon_sweep",
     "parallel_sweep",
 )
@@ -272,6 +277,64 @@ def bench_greedy_initialization(graph, args) -> dict:
         "reference_seconds": slow,
         "speedup": slow / fast if fast else float("nan"),
         "objective": outcomes["batched"][0],
+    }
+
+
+def bench_secure_construction(graph, args) -> dict:
+    """Time secure cold construction: batched vectorized-OT kernels vs loops.
+
+    Secure mode is the scenario the paper evaluates — every degree and
+    workload comparison runs the (simulated) CrypTFlow2 millionaires'
+    protocol.  The batched kernels execute the same protocol as one numpy
+    block per phase (vectorised table OTs in greedy, the incremental
+    balancer's batched Alg. 3 path); the reference path is the per-comparison
+    python loop.  Both are asserted bit-for-bit equivalent here (assignments
+    and transcript counters) before the timing is recorded.  The MCMC budget
+    is capped: the reference loop's per-iteration protocol cost would make
+    the paper's 1,000-iteration budget take minutes per repetition without
+    changing the ratio.
+    """
+    from repro.core import TreeConstructor, TreeConstructorConfig
+
+    normalized = graph.normalized_features(0.0, 1.0)
+    iterations = min(args.mcmc, 30)
+    outcomes = {}
+
+    def run(secure_kernel):
+        def fn() -> float:
+            environment = FederatedEnvironment.from_graph(normalized, seed=0)
+            constructor = TreeConstructor(
+                TreeConstructorConfig(
+                    mcmc_iterations=iterations, secure_kernel=secure_kernel
+                ),
+                rng=np.random.default_rng(0),
+                secure=True,
+            )
+            start = time.perf_counter()
+            result = constructor.construct(environment)
+            elapsed = time.perf_counter() - start
+            outcomes[secure_kernel] = (
+                result.assignment.as_lists(),
+                result.transcript.snapshot(),
+            )
+            return elapsed
+
+        return fn
+
+    fast = _best(run("batched"), args.repeat)
+    slow = _best(run("reference"), args.repeat)
+    if outcomes["batched"] != outcomes["reference"]:
+        raise AssertionError(
+            "batched secure construction diverged from the reference loops: "
+            f"{outcomes['batched'][1]} != {outcomes['reference'][1]}"
+        )
+    return {
+        "devices": graph.num_nodes,
+        "mcmc_iterations": iterations,
+        "comparisons": outcomes["batched"][1]["comparisons"],
+        "batched_seconds": fast,
+        "reference_seconds": slow,
+        "speedup": slow / fast if fast else float("nan"),
     }
 
 
@@ -618,6 +681,12 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
           f"comparisons, {greedy['devices']} devices): batched "
           f"{greedy['batched_seconds'] * 1e3:.2f} ms vs reference "
           f"{greedy['reference_seconds'] * 1e3:.2f} ms ({greedy['speedup']:.1f}x)")
+    secure = bench_secure_construction(graph, args)
+    print(f"[bench_engine] secure construction ({secure['comparisons']} protocol "
+          f"runs, {secure['mcmc_iterations']} MCMC iterations, "
+          f"{secure['devices']} devices): batched "
+          f"{secure['batched_seconds'] * 1e3:.1f} ms vs reference "
+          f"{secure['reference_seconds'] * 1e3:.1f} ms ({secure['speedup']:.1f}x)")
     sweep = bench_epsilon_sweep(graph, split, args)
     print(f"[bench_engine] epsilon sweep ({sweep['points']} points): engine "
           f"{sweep['engine_seconds']:.2f} s vs seed path "
@@ -654,6 +723,7 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
         "training_epoch": epoch,
         "mcmc_balancing": mcmc,
         "greedy_initialization": greedy,
+        "secure_construction": secure,
         "epsilon_sweep": sweep,
         "parallel_sweep": parallel,
     }

@@ -16,10 +16,13 @@ Two kernels implement the loop:
   charges the accountant with one bulk pattern record and the ledger with one
   columnar :class:`~repro.federation.events.BulkMessageEvent` — identical
   totals, canonical transcript and selected sets, at O(E) numpy cost instead
-  of O(E) protocol objects;
+  of O(E) protocol objects.  In secure mode (``secure=True``) the outcomes
+  are produced by the *vectorised millionaires' protocol itself* (batched
+  table-OT simulation, ``execute=True``) rather than the analytic
+  evaluation, so the structural information boundary of the per-edge loop is
+  preserved while the whole block still runs in one pass;
 * ``"reference"`` is the original per-edge message-level simulation, kept as
-  the parity baseline and for secure construction, where each comparison must
-  run the simulated OT protocol step by step.
+  the parity baseline.
 
 **RNG stream contract** — neither kernel draws from the shared random stream:
 the simulated 1-out-of-2^m table OTs need no masking randomness, so the
@@ -60,6 +63,7 @@ def greedy_initialization(
     bit_width: int = 8,
     rng: Optional[np.random.Generator] = None,
     kernel: str = "auto",
+    secure: bool = False,
 ) -> Assignment:
     """Run Alg. 1 over the federated environment and return the assignment.
 
@@ -71,9 +75,13 @@ def greedy_initialization(
 
     ``kernel`` selects the implementation: ``"batched"`` (vectorised, the
     default resolution of ``"auto"``) or ``"reference"`` (the per-edge
-    protocol loop).  The two are equivalent in every recorded observable —
-    selected sets, accountant totals and log, canonical ledger transcript,
-    RNG state (see the module docstring for the RNG stream contract).
+    protocol loop).  ``secure`` makes the batched kernel *execute* the
+    vectorised millionaires' protocol for its outcome bits instead of
+    evaluating them analytically (the reference loop always executes the
+    protocol).  All four combinations are equivalent in every recorded
+    observable — selected sets, accountant totals and log, canonical ledger
+    transcript, RNG state (see the module docstring for the RNG stream
+    contract).
     """
     if kernel not in KERNELS:
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
@@ -82,7 +90,7 @@ def greedy_initialization(
     if kernel == "reference":
         selected = _select_reference(environment, accountant, bit_width, rng)
     else:
-        selected = _select_batched(environment, accountant, bit_width)
+        selected = _select_batched(environment, accountant, bit_width, secure)
 
     assignment = Assignment(selected=selected)
     environment.apply_assignment(assignment.as_lists())
@@ -126,6 +134,7 @@ def _select_batched(
     environment: FederatedEnvironment,
     accountant: TranscriptAccountant,
     bit_width: int,
+    secure: bool = False,
 ) -> Dict[int, Set[int]]:
     """Vectorised Alg. 1: all directed-edge comparisons as one numpy block.
 
@@ -173,7 +182,7 @@ def _select_batched(
         # Line 4 of Alg. 1 over all directed edges at once: device u keeps v
         # when round(ln deg(v)) >= round(ln deg(u)).
         batch = protocol.compare_degrees_many(
-            degrees[destination_positions], degrees[source_positions]
+            degrees[destination_positions], degrees[source_positions], execute=secure
         )
         keep = batch.left_ge_right
         size_bytes = comparison_message_bytes(batch.cost.bits)

@@ -13,8 +13,12 @@ The iterative balancer repeatedly
 Two execution modes are provided:
 
 * ``secure=True`` runs every workload comparison of Alg. 3 through the
-  simulated CrypTFlow2 protocol (exact message-level simulation; used by the
-  correctness tests and small examples);
+  simulated CrypTFlow2 protocol — as a *batched* vectorised-OT simulation on
+  the incremental kernel (the ``"auto"`` resolution over contiguous device
+  ids, see :meth:`_IncrementalBalancingKernel.find_max_workload_device_secure`)
+  or as the original per-comparison message-level loop on the reference
+  kernel; the two are bit-for-bit equivalent in every recorded observable
+  (pinned by ``tests/test_secure_batched.py``);
 * ``secure=False`` (default) evaluates the comparisons in the clear but
   charges the *same* analytic communication cost to the transcript
   accountant and ledger — the resulting assignments are identical, and large
@@ -195,7 +199,7 @@ def _charge_comparison_traffic(environment: FederatedEnvironment, count: int) ->
 
 
 class _IncrementalBalancingKernel:
-    """Array-backed incremental state for the clear-mode balancing loop.
+    """Array-backed incremental state for the balancing loop (clear + secure).
 
     Holds the flat workload vector, a prebuilt CSR adjacency, and two derived
     arrays maintained by deltas across transitions:
@@ -228,6 +232,17 @@ class _IncrementalBalancingKernel:
         self._neighbors = [
             indices[indptr[v]:indptr[v + 1]].tolist() for v in range(n)
         ]
+        # Columnar CSR view used by the batched *secure* Alg. 3 path: per
+        # directed neighbour relation, the owning device, and its 0-based
+        # position within the device's ego-ordered neighbour list (the order
+        # the reference loop's early-terminating comparisons follow).
+        self._csr_indices = indices
+        self._csr_degrees = np.diff(indptr)
+        self._csr_sources = np.repeat(np.arange(n, dtype=np.int64), self._csr_degrees)
+        self._edge_offsets = (
+            np.arange(indices.shape[0], dtype=np.int64)
+            - np.repeat(indptr[:-1], self._csr_degrees)
+        )
         # Alg. 3 device operation 1 always evaluates one comparison per
         # directed neighbour relation, whatever the workloads are.
         self.neighbor_comparisons = int(indices.shape[0])
@@ -262,6 +277,14 @@ class _IncrementalBalancingKernel:
         self._comparison_counts: List[int] = []
         self._winner_rounds: List[int] = []
         self._winner_counts: List[int] = []
+        # Secure-mode buffers (the secure reference path logs per-device
+        # candidate announcements and per-winner maximum announcements, not
+        # the aggregated clear-mode coordination messages).
+        self._secure_announce_rounds: List[int] = []
+        self._secure_comparison_rounds: List[int] = []
+        self._secure_comparison_counts: List[int] = []
+        self._secure_winner_ids: List[int] = []
+        self._secure_winner_rounds: List[int] = []
         # Version-keyed memo of the Alg. 3 evaluation: apply() moves to a
         # fresh version, revert() returns to the previous one, so the first
         # call of an iteration always sees a state some earlier call already
@@ -312,6 +335,84 @@ class _IncrementalBalancingKernel:
         self._winner_counts.append(len(winners))
         return self.environment.server.pick_maximum(winners)
 
+    def find_max_workload_device_secure(
+        self, protocol: WorkloadComparisonProtocol, round_index: int
+    ) -> int:
+        """Alg. 3 under the batched secure protocol (vectorised part 1).
+
+        Executes *exactly* the comparisons the secure reference loop would:
+        device ``u`` compares its workload against its neighbours in ego
+        order and stops at the first strictly greater one
+        (:meth:`WorkloadComparisonProtocol.is_local_maximum`'s early
+        termination), so the number of executed protocol runs is
+        value-dependent.  The early-terminated prefix is gathered with one
+        boolean mask and run through the vectorised millionaires' protocol
+        (:meth:`WorkloadComparisonProtocol.compare_workloads_many`); part 2
+        then runs the candidate argmax through the scalar protocol — the
+        candidate set is small — giving accountant counters *and* capped log
+        entry-for-entry identical to the per-device loop.
+
+        The maintained candidate flags are cross-checked against the
+        protocol outcomes (mirroring the reference loop's "secure argmax
+        disagrees" guard), and the per-device candidate announcements /
+        per-winner maximum announcements are buffered for a columnar flush.
+        """
+        workload = self.workload
+        n = self.num_devices
+        if self._csr_indices.shape[0]:
+            own = workload[self._csr_sources]
+            other = workload[self._csr_indices]
+            # First strictly-greater neighbour position per device (the
+            # comparison at which is_local_maximum stops), or the device's
+            # degree when no neighbour exceeds it (candidate).
+            sentinel = np.iinfo(np.int64).max
+            exceeds = np.flatnonzero(other > own)
+            first_offset = np.full(n, sentinel, dtype=np.int64)
+            np.minimum.at(first_offset, self._csr_sources[exceeds], self._edge_offsets[exceeds])
+            candidate = first_offset == sentinel
+            executed = np.where(candidate, self._csr_degrees, first_offset + 1)
+            prefix = self._edge_offsets < executed[self._csr_sources]
+            batch = protocol.compare_workloads_many(own[prefix], other[prefix])
+            # Every executed comparison except a non-candidate's last one
+            # returns own >= other; re-derive candidacy from the protocol
+            # outcomes and check it against the maintained flags.
+            losses = np.zeros(n, dtype=np.int64)
+            np.add.at(losses, self._csr_sources[prefix], (~batch.left_ge_right).astype(np.int64))
+            if not np.array_equal(losses == 0, candidate) or not np.array_equal(
+                candidate, self.candidate
+            ):
+                raise RuntimeError(
+                    "secure batched Alg. 3 disagrees with the maintained candidate set"
+                )
+        else:
+            # No neighbour relations: every device is vacuously a local
+            # maximum and no comparison is executed (matching the loop).
+            candidate = np.ones(n, dtype=bool) if n else np.zeros(0, dtype=bool)
+
+        candidate_ids = np.flatnonzero(candidate)
+        if candidate_ids.size:
+            candidates = candidate_ids.tolist()
+        else:
+            candidates = [self._fallback_device]
+        candidate_workloads = [int(workload[c]) for c in candidates]
+        pairwise_comparisons = len(candidates) * (len(candidates) - 1)
+        maximum_value = max(candidate_workloads)
+        winners = [c for c, w in zip(candidates, candidate_workloads) if w == maximum_value]
+        # Part 2 runs through the scalar protocol, exactly as the reference
+        # path does (the candidate set is tiny next to the edge set).
+        winner_index = protocol.argmax(candidate_workloads)
+        if candidate_workloads[winner_index] != maximum_value:
+            raise RuntimeError("secure argmax disagrees with plaintext maximum")
+
+        self._secure_announce_rounds.append(round_index)
+        self._secure_comparison_rounds.append(round_index)
+        self._secure_comparison_counts.append(
+            self.neighbor_comparisons + pairwise_comparisons
+        )
+        self._secure_winner_ids.extend(winners)
+        self._secure_winner_rounds.extend([round_index] * len(winners))
+        return self.environment.server.pick_maximum(winners)
+
     def flush_transcript(self) -> None:
         """Emit the buffered Alg. 3 traffic as columnar ledger events."""
         ledger = self.environment.ledger
@@ -336,11 +437,49 @@ class _IncrementalBalancingKernel:
                 self._winner_rounds,
                 description="alg3-maximum-announcements",
             )
+        if self._secure_announce_rounds:
+            calls = len(self._secure_announce_rounds)
+            device_ids = np.arange(self.num_devices, dtype=np.int64)
+            announce_senders = np.tile(device_ids, calls)
+            announce_rounds = np.repeat(
+                np.asarray(self._secure_announce_rounds, dtype=np.int64),
+                self.num_devices,
+            )
+            ledger.send_many(
+                announce_senders,
+                np.full(announce_senders.shape[0], SERVER_ID, dtype=np.int64),
+                MessageKind.SERVER_COORDINATION,
+                np.ones(announce_senders.shape[0], dtype=np.int64),
+                announce_rounds,
+                description="candidate-announcement",
+            )
+            server = np.full(calls, SERVER_ID, dtype=np.int64)
+            ledger.send_many(
+                server, server, MessageKind.SECURE_COMPARISON,
+                np.asarray(self._secure_comparison_counts, dtype=np.int64) * 8,
+                self._secure_comparison_rounds,
+                description="alg3-comparisons",
+            )
+        if self._secure_winner_ids:
+            winner_senders = np.asarray(self._secure_winner_ids, dtype=np.int64)
+            ledger.send_many(
+                winner_senders,
+                np.full(winner_senders.shape[0], SERVER_ID, dtype=np.int64),
+                MessageKind.SERVER_COORDINATION,
+                np.ones(winner_senders.shape[0], dtype=np.int64),
+                self._secure_winner_rounds,
+                description="maximum-announcement",
+            )
         self._candidate_rounds = []
         self._comparison_rounds = []
         self._comparison_counts = []
         self._winner_rounds = []
         self._winner_counts = []
+        self._secure_announce_rounds = []
+        self._secure_comparison_rounds = []
+        self._secure_comparison_counts = []
+        self._secure_winner_ids = []
+        self._secure_winner_rounds = []
 
     # ------------------------------------------------------------------ #
     # Transitions (Eq. 17) as journaled delta updates
@@ -470,9 +609,9 @@ class MCMCBalancer:
     ``kernel`` selects the inner-loop implementation: ``"incremental"`` (the
     array-backed delta kernel), ``"reference"`` (the from-scratch loop the
     equivalence tests pin against) or ``"auto"`` (incremental whenever it
-    applies: clear mode over contiguous device ids).  Secure mode always runs
-    the reference loop — its message-level protocol simulation is inherently
-    per-comparison.
+    applies: contiguous device ids).  In secure mode the incremental kernel
+    runs Alg. 3 through the batched vectorised-OT protocol simulation,
+    charging transcripts identical to the early-terminating per-device loop.
     """
 
     def __init__(
@@ -507,14 +646,9 @@ class MCMCBalancer:
     # ------------------------------------------------------------------ #
     def run(self, initial: Assignment) -> MCMCResult:
         """Execute the MCMC iterations starting from ``initial``."""
-        incremental_ok = (
-            self._protocol is None
-            and _IncrementalBalancingKernel.supported(self.environment)
-        )
+        incremental_ok = _IncrementalBalancingKernel.supported(self.environment)
         if self.kernel == "incremental" and not incremental_ok:
-            raise ValueError(
-                "incremental kernel requires clear mode and contiguous device ids"
-            )
+            raise ValueError("incremental kernel requires contiguous device ids")
         if incremental_ok and self.kernel in ("auto", "incremental"):
             return self._run_incremental(initial)
         return self._run_reference(initial)
@@ -543,7 +677,12 @@ class MCMCBalancer:
 
         for iteration in range(self.iterations):
             # Line 2: device with the largest workload under X_t.
-            heaviest = kernel.find_max_workload_device(self.accountant, round_index)
+            if self._protocol is not None:
+                heaviest = kernel.find_max_workload_device_secure(
+                    self._protocol, round_index
+                )
+            else:
+                heaviest = kernel.find_max_workload_device(self.accountant, round_index)
             source_neighbors = sorted(current.selected.get(heaviest, set()))
             if not source_neighbors:
                 # The reference loop `continue`s past its next_round() too,
@@ -567,13 +706,25 @@ class MCMCBalancer:
                 proposal_rounds.append(round_index)
 
             # Line 6: device with the largest workload under X'_t.
-            heaviest_after = kernel.find_max_workload_device(self.accountant, round_index)
+            if self._protocol is not None:
+                heaviest_after = kernel.find_max_workload_device_secure(
+                    self._protocol, round_index
+                )
+            else:
+                heaviest_after = kernel.find_max_workload_device(
+                    self.accountant, round_index
+                )
 
             # Line 7: f(X_t) - f(X'_t); the winner of Alg. 3 attains the
             # maximum, so both objectives are single workload lookups.
             objective_after = int(kernel.workload[heaviest_after])
-            difference = objective_before - objective_after
-            _charge_analytic_comparisons(self.accountant, 1, bit_width=self.bit_width)
+            if self._protocol is not None:
+                difference = self._protocol.objective_difference(
+                    objective_before, objective_after
+                )
+            else:
+                difference = objective_before - objective_after
+                _charge_analytic_comparisons(self.accountant, 1, bit_width=self.bit_width)
             objective_senders.append(heaviest)
             objective_recipients.append(heaviest_after)
             objective_rounds.append(round_index)

@@ -74,11 +74,20 @@ class TranscriptAccountant:
         self.record("ot", 2 * message_bits + 128)
 
     def merge(self, other: "TranscriptAccountant") -> None:
-        """Fold another accountant's counters into this one."""
+        """Fold another accountant's counters and capped log into this one.
+
+        The log keeps ``other``'s entries in order, truncated at ``LOG_CAP``
+        exactly as if every one of them had been re-recorded here — so merging
+        two capped accountants yields a capped accountant whose log is the
+        concatenation prefix the cap allows.
+        """
         self.messages += other.messages
         self.bits += other.bits
         self.ot_invocations += other.ot_invocations
         self.comparisons += other.comparisons
+        remaining = self.LOG_CAP - len(self._log)
+        if remaining > 0 and other._log:
+            self._log.extend(other._log[:remaining])
 
     def snapshot(self) -> dict:
         """Return the counters as a plain dictionary."""
@@ -141,6 +150,54 @@ class ObliviousTransfer:
         chosen_message = masked[choice] ^ chosen_pad
         return OTResult(chosen_message=chosen_message, message_bits=message_bits)
 
+    def transfer_batch(
+        self, messages_zero, messages_one, choices, message_bits: int = 32
+    ):
+        """Run many independent 1-out-of-2 OTs as one numpy block.
+
+        Counter- and log-identical to calling :meth:`transfer` once per
+        position, and the receiver of position ``i`` learns exactly
+        ``messages_one[i] if choices[i] else messages_zero[i]``.
+
+        **RNG block-draw contract**: consumes exactly ``2 * n`` values from
+        the shared generator via one ``integers(modulus, size=(n, 2))`` block
+        draw.  Numpy fills bounded-integer blocks from the bit stream in
+        C order with the same per-value algorithm as scalar draws, so the
+        stream is left bit-for-bit where ``n`` scalar :meth:`transfer` calls
+        (pad_zero then pad_one, per position) would leave it — pinned by
+        ``tests/helpers/rng_contract.py``.
+        """
+        messages_zero = np.asarray(messages_zero, dtype=np.int64)
+        messages_one = np.asarray(messages_one, dtype=np.int64)
+        choices = np.asarray(choices, dtype=np.int64)
+        if (
+            messages_zero.ndim != 1
+            or messages_zero.shape != messages_one.shape
+            or messages_zero.shape != choices.shape
+        ):
+            raise ValueError("transfer_batch expects three 1-D arrays of equal length")
+        if choices.size and not np.isin(choices, (0, 1)).all():
+            raise ValueError("choice must be 0 or 1")
+        modulus = 1 << message_bits
+        for name, messages in (
+            ("message_zero", messages_zero),
+            ("message_one", messages_one),
+        ):
+            if messages.size and not (
+                0 <= int(messages.min()) and int(messages.max()) < modulus
+            ):
+                raise ValueError(f"{name} must lie in [0, 2^{message_bits})")
+        count = int(choices.shape[0])
+        if count == 0:
+            return np.zeros(0, dtype=np.int64)
+        pads = self._rng.integers(modulus, size=(count, 2))
+        masked = np.stack([messages_zero ^ pads[:, 0], messages_one ^ pads[:, 1]], axis=1)
+        rows = np.arange(count)
+        chosen = masked[rows, choices] ^ pads[rows, choices]
+        self.accountant.ot_invocations += count
+        self.accountant.record_pattern((("ot", 2 * message_bits + 128),), count)
+        return chosen
+
     def transfer_table(self, table: Tuple[int, ...], choice: int, message_bits: int = 32) -> int:
         """1-out-of-N OT built from a direct table lookup with N-message cost.
 
@@ -152,3 +209,35 @@ class ObliviousTransfer:
         self.accountant.ot_invocations += 1
         self.accountant.record("ot-n", len(table) * message_bits + 128)
         return int(table[choice])
+
+    def transfer_table_batch(
+        self, tables, choices, message_bits: int = 32, charge: bool = True
+    ):
+        """Run many independent 1-out-of-N table OTs as one numpy block.
+
+        ``tables`` is an ``(n, N)`` array — row ``i`` is the sender's truth
+        table of position ``i`` — and ``choices`` the receiver's ``n`` table
+        indices.  Counter- and log-identical to ``n`` :meth:`transfer_table`
+        calls when ``charge`` is true; ``charge=False`` runs the transfer
+        without touching the accountant, for callers (the batched
+        millionaires' kernel) that charge the canonical *per-comparison*
+        interleaved pattern themselves instead of this blockwise order.
+
+        **RNG block-draw contract**: draws **nothing** — like the scalar
+        table OT, the simulated lookup needs no masking randomness.
+        """
+        tables = np.asarray(tables)
+        choices = np.asarray(choices, dtype=np.int64)
+        if tables.ndim != 2 or choices.ndim != 1 or tables.shape[0] != choices.shape[0]:
+            raise ValueError("transfer_table_batch expects (n, N) tables and n choices")
+        if choices.size and not (
+            0 <= int(choices.min()) and int(choices.max()) < tables.shape[1]
+        ):
+            raise ValueError("choice out of table range")
+        count = int(choices.shape[0])
+        if charge and count:
+            self.accountant.ot_invocations += count
+            self.accountant.record_pattern(
+                (("ot-n", tables.shape[1] * message_bits + 128),), count
+            )
+        return tables[np.arange(count), choices]

@@ -112,8 +112,8 @@ class SecureComparator:
         accountant: Optional[TranscriptAccountant] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if bit_width <= 0 or bit_width > 63:
-            raise ValueError("bit_width must be in [1, 63]")
+        if bit_width <= 0 or bit_width > 64:
+            raise ValueError("bit_width must be in [1, 64]")
         self.bit_width = bit_width
         self.accountant = accountant if accountant is not None else TranscriptAccountant()
         self._ot = ObliviousTransfer(accountant=self.accountant, rng=rng)
@@ -144,7 +144,9 @@ class SecureComparator:
             ot_invocations=self.accountant.ot_invocations - ots_before,
         )
 
-    def compare_many(self, pairs: List[Tuple[int, int]]) -> List[ComparisonResult]:
+    def compare_many(
+        self, pairs: List[Tuple[int, int]], execute: bool = False
+    ) -> List[ComparisonResult]:
         """Compare a batch of pairs (each pair is an independent protocol run).
 
         Vectorised over :meth:`compare_batch`: the outcomes, the accountant
@@ -153,9 +155,9 @@ class SecureComparator:
         """
         if not pairs:
             return []
-        left = np.fromiter((pair[0] for pair in pairs), dtype=np.int64, count=len(pairs))
-        right = np.fromiter((pair[1] for pair in pairs), dtype=np.int64, count=len(pairs))
-        batch = self.compare_batch(left, right)
+        left = [pair[0] for pair in pairs]
+        right = [pair[1] for pair in pairs]
+        batch = self.compare_batch(left, right, execute=execute)
         return [
             ComparisonResult(
                 left_ge_right=bool(outcome),
@@ -165,7 +167,7 @@ class SecureComparator:
             for outcome in batch.left_ge_right
         ]
 
-    def compare_batch(self, left, right) -> BatchComparisonResult:
+    def compare_batch(self, left, right, execute: bool = False) -> BatchComparisonResult:
         """Evaluate many independent comparisons as one numpy block.
 
         ``left[i] >= right[i]`` for parallel 1-D integer arrays.  Every
@@ -174,24 +176,37 @@ class SecureComparator:
         same per-comparison pattern), so a batch is indistinguishable from
         the equivalent python loop in all recorded observables.
 
-        RNG stream contract: like the scalar protocol simulation (whose
-        1-out-of-2^m table OTs need no masking randomness), the batch draws
-        **nothing** from the comparator's RNG — batched and looped execution
-        leave any shared random stream in the same state.
+        ``execute`` selects how the outcome bits are produced:
+
+        * ``False`` (the clear-mode default) evaluates them directly and
+          charges the analytic per-comparison pattern;
+        * ``True`` runs the millionaires' block protocol itself, vectorised
+          over the batch (:meth:`_block_compare_batch` — every outcome is
+          derived only from simulated table-OT outputs, the same structural
+          information boundary as the scalar loop).  This is the path secure
+          construction uses.
+
+        The two paths are bit-identical in results, accountant counters and
+        capped log (the executed path charges the canonical per-comparison
+        interleaved pattern, not its blockwise execution order — a constant
+        transcript reordering the protocol's synchronous rounds permit).
+
+        **RNG block-draw contract**: draws **nothing** from the comparator's
+        RNG under either path (the simulated 1-out-of-2^m table OTs need no
+        masking randomness) — batched and looped execution leave any shared
+        random stream in the same state.
         """
-        left = np.asarray(left, dtype=np.int64)
-        right = np.asarray(right, dtype=np.int64)
+        left = self._operand_array(left, "left")
+        right = self._operand_array(right, "right")
         if left.ndim != 1 or left.shape != right.shape:
             raise ValueError("compare_batch expects two 1-D arrays of equal length")
-        for name, values in (("left", left), ("right", right)):
-            if values.size:
-                if int(values.min()) < 0:
-                    raise ValueError(f"{name} must be non-negative")
-                if int(values.max()) >= (1 << self.bit_width):
-                    raise ValueError(f"{name} does not fit in {self.bit_width} bits")
         cost = comparison_cost(self.bit_width, block_bits=self.BLOCK_BITS)
         count = int(left.shape[0])
-        outcomes = left >= right
+        if execute:
+            greater, equal = self._block_compare_batch(left, right)
+            outcomes = greater | equal
+        else:
+            outcomes = left >= right
         self.accountant.ot_invocations += cost.ot_invocations * count
         self.accountant.record_pattern(cost.pattern, count)
         self.accountant.comparisons += count
@@ -223,6 +238,28 @@ class SecureComparator:
             raise ValueError(f"{name} must be non-negative")
         if value >= (1 << self.bit_width):
             raise ValueError(f"{name} does not fit in {self.bit_width} bits")
+
+    def _operand_array(self, values, name: str) -> np.ndarray:
+        """Validate a batch operand and return it as uint64 (protocol dtype).
+
+        uint64 is what lets ``bit_width=64`` operands (up to ``2**64 - 1``)
+        flow through the batch kernels; int64 inputs are range-checked before
+        the widening cast so negatives fail loudly instead of wrapping.
+        """
+        array = np.asarray(values)
+        if array.dtype != np.uint64:
+            try:
+                array = np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                # Python ints above 2**63 - 1 (legal under bit_width=64)
+                # only fit the unsigned dtype; negatives raise here too.
+                array = np.asarray(values, dtype=np.uint64)
+        if array.size:
+            if array.dtype != np.uint64 and int(array.min()) < 0:
+                raise ValueError(f"{name} must be non-negative")
+            if self.bit_width < 64 and int(array.max()) >= (1 << self.bit_width):
+                raise ValueError(f"{name} does not fit in {self.bit_width} bits")
+        return array.astype(np.uint64, copy=False)
 
     def _blocks(self, value: int) -> List[int]:
         """Split ``value`` into big-endian 4-bit blocks."""
@@ -268,6 +305,72 @@ class SecureComparator:
             equal_flags = next_equal
 
         return greater_flags[0], equal_flags[0]
+
+    def _block_compare_batch(
+        self, left: np.ndarray, right: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_block_compare` over a whole (uint64) batch.
+
+        Runs the same protocol steps as the scalar recursion for *every*
+        position at once: one simulated 1-out-of-2^m table OT per block for
+        the greater-than share and one for the equality share (party B's
+        per-position truth tables are materialised as ``(n, 2^m)`` rows and
+        looked up through :meth:`ObliviousTransfer.transfer_table_batch`),
+        then the logarithmic AND/OR combine tree column-pair by column-pair.
+        The outcome bits are therefore derived exclusively from OT outputs —
+        the structural information boundary of the scalar loop is preserved.
+
+        Accounting is left to the caller (``charge=False`` table OTs): the
+        scalar loop interleaves the two OTs of each block *per comparison*,
+        while this kernel executes block-by-block *across* comparisons, so
+        the caller charges the canonical per-comparison pattern
+        (:func:`comparison_cost`) to keep the capped log entry-for-entry
+        identical to the loop.
+
+        **RNG block-draw contract**: draws **nothing** (table OTs need no
+        masking randomness).
+        """
+        num_blocks = (self.bit_width + self.BLOCK_BITS - 1) // self.BLOCK_BITS
+        table_size = 1 << self.BLOCK_BITS
+        mask = np.uint64(table_size - 1)
+        count = int(left.shape[0])
+        candidates = np.arange(table_size, dtype=np.uint64)
+
+        # Leaf layer: per big-endian block, party A obtains the shares of
+        # every position through two batched 1-out-of-16 OTs.
+        greater = np.zeros((count, num_blocks), dtype=bool)
+        equal = np.zeros((count, num_blocks), dtype=bool)
+        for column, index in enumerate(reversed(range(num_blocks))):
+            shift = np.uint64(index * self.BLOCK_BITS)
+            left_blocks = (left >> shift) & mask
+            right_blocks = (right >> shift) & mask
+            greater_tables = candidates[None, :] > right_blocks[:, None]
+            equal_tables = candidates[None, :] == right_blocks[:, None]
+            choices = left_blocks.astype(np.int64)
+            greater[:, column] = self._ot.transfer_table_batch(
+                greater_tables, choices, message_bits=1, charge=False
+            )
+            equal[:, column] = self._ot.transfer_table_batch(
+                equal_tables, choices, message_bits=1, charge=False
+            )
+
+        # Combine layer: the same logarithmic AND/OR tree as the scalar
+        # recursion, evaluated over whole columns.
+        while greater.shape[1] > 1:
+            width = greater.shape[1]
+            paired = width - (width % 2)
+            high_greater = greater[:, 0:paired:2]
+            high_equal = equal[:, 0:paired:2]
+            low_greater = greater[:, 1:paired:2]
+            low_equal = equal[:, 1:paired:2]
+            next_greater = high_greater | (high_equal & low_greater)
+            next_equal = high_equal & low_equal
+            if width % 2 == 1:
+                next_greater = np.concatenate([next_greater, greater[:, -1:]], axis=1)
+                next_equal = np.concatenate([next_equal, equal[:, -1:]], axis=1)
+            greater, equal = next_greater, next_equal
+
+        return greater[:, 0], equal[:, 0]
 
 
 def secure_max_index(

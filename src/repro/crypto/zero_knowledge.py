@@ -84,16 +84,22 @@ class DegreeComparisonProtocol:
             bits_exchanged=result.bits_exchanged,
         )
 
-    def compare_degrees_many(self, left_degrees, right_degrees) -> BatchComparisonResult:
+    def compare_degrees_many(
+        self, left_degrees, right_degrees, execute: bool = False
+    ) -> BatchComparisonResult:
         """Batched :meth:`compare_degrees` over parallel degree arrays.
 
         One protocol run per position, evaluated as a single numpy block
         (:meth:`SecureComparator.compare_batch`): outcomes, accountant totals
         and the capped transcript log are identical to the scalar loop, and —
         per the batch RNG contract — nothing is drawn from the shared stream.
+        ``execute=True`` (secure construction) runs the vectorised
+        millionaires' protocol itself instead of the analytic evaluation.
         """
         return self._comparator.compare_batch(
-            log_degree_buckets(left_degrees), log_degree_buckets(right_degrees)
+            log_degree_buckets(left_degrees),
+            log_degree_buckets(right_degrees),
+            execute=execute,
         )
 
 
@@ -115,6 +121,18 @@ class WorkloadComparisonProtocol:
             if not self._comparator.compare(int(own_workload), int(other)).left_ge_right:
                 return False
         return True
+
+    def compare_workloads_many(self, left, right) -> BatchComparisonResult:
+        """Batched secure workload comparisons (``left[i] >= right[i]``).
+
+        Runs the vectorised millionaires' protocol
+        (:meth:`SecureComparator.compare_batch` with ``execute=True``) so the
+        batched secure balancing kernel executes exactly the comparisons the
+        per-device loop would, in one numpy block — identical outcomes,
+        accountant counters and capped log, and (per the batch RNG contract)
+        no draws from the shared stream.
+        """
+        return self._comparator.compare_batch(left, right, execute=True)
 
     def argmax(self, workloads: Sequence[int]) -> int:
         """Device operation 2 of Alg. 3: index of the maximum workload."""

@@ -1,0 +1,1 @@
+"""Reusable test helpers (importable as ``helpers.*`` under pytest)."""

@@ -1,0 +1,65 @@
+"""Pin a kernel's RNG-stream consumption (the block-draw contract).
+
+Every batched kernel in this codebase documents exactly what it consumes
+from the shared ``np.random.Generator`` — either *nothing* (the secure
+comparison kernels: simulated table OTs need no masking randomness) or an
+explicit block draw that is bit-for-bit the scalar loop's consumption (the
+batched 1-out-of-2 OT draws ``2 * n`` pad values).  Prose contracts rot;
+:func:`assert_stream_contract` turns them into executable assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+#: A replay of the documented draw pattern on a twin generator.
+DrawReplay = Callable[[np.random.Generator], None]
+
+
+def clone_generator(rng: np.random.Generator) -> np.random.Generator:
+    """Return an independent generator positioned at ``rng``'s exact state."""
+    twin = np.random.Generator(type(rng.bit_generator)())
+    twin.bit_generator.state = rng.bit_generator.state
+    return twin
+
+
+def assert_stream_contract(
+    fn: Callable[[np.random.Generator], object],
+    rng: np.random.Generator,
+    n_draws: Union[int, DrawReplay, None] = 0,
+    draw: Optional[Callable[[np.random.Generator, int], None]] = None,
+):
+    """Run ``fn(rng)`` and assert it consumed exactly the documented draws.
+
+    ``n_draws`` pins the contract:
+
+    * ``0`` / ``None`` — ``fn`` must leave the stream untouched (the
+      contract of every secure-comparison kernel);
+    * an ``int`` with ``draw`` — ``draw(twin, n_draws)`` replays the
+      documented block-draw pattern (e.g. ``lambda g, n: g.integers(m,
+      size=n)``) on a twin generator seeded with the pre-call state;
+    * a callable — invoked as ``n_draws(twin)`` to replay an arbitrary
+      documented pattern.
+
+    The assertion compares full bit-generator states, so both *how many*
+    values and *how* they were drawn are pinned — a kernel that consumes the
+    right count through a different draw shape still fails.  Returns
+    ``fn``'s result so equivalence tests can chain on it.
+    """
+    twin = clone_generator(rng)
+    result = fn(rng)
+    if callable(n_draws):
+        n_draws(twin)
+    elif n_draws:
+        if draw is None:
+            raise TypeError(
+                "an integer n_draws needs the draw=(generator, n) replay callable"
+            )
+        draw(twin, n_draws)
+    assert rng.bit_generator.state == twin.bit_generator.state, (
+        "RNG stream contract violated: the kernel consumed draws that the "
+        "documented replay does not reproduce"
+    )
+    return result

@@ -43,6 +43,27 @@ def test_tracked_speedups_include_all_perf_sections():
         "training_epoch",
         "mcmc_balancing",
         "greedy_initialization",
+        "secure_construction",
         "epsilon_sweep",
         "parallel_sweep",
     }
+
+
+def test_secure_construction_section_is_gate_tracked_and_equivalent(capsys):
+    """The regression gate must see the secure_construction speedup."""
+    bench_engine = _load_bench_engine()
+    assert "secure_construction" in bench_engine.TRACKED_SPEEDUPS
+
+    from repro.graph import load_dataset
+
+    class Args:
+        mcmc = 10
+        repeat = 1
+
+    graph = load_dataset("facebook", seed=0, num_nodes=30)
+    section = bench_engine.bench_secure_construction(graph, Args())
+    # The section internally asserts batched == reference (assignments and
+    # transcript) before reporting; a finite speedup means both paths ran.
+    assert section["devices"] == 30
+    assert section["comparisons"] > 0
+    assert section["speedup"] > 0

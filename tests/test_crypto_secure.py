@@ -120,7 +120,9 @@ class TestSecureComparator:
         with pytest.raises(ValueError):
             SecureComparator(bit_width=0)
         with pytest.raises(ValueError):
-            SecureComparator(bit_width=64)
+            SecureComparator(bit_width=65)
+        # 64-bit operands are legal since the batch kernels went uint64.
+        assert SecureComparator(bit_width=64).compare(2 ** 64 - 1, 0).left_ge_right
 
     def test_accountant_accumulates_comparisons(self):
         accountant = TranscriptAccountant()

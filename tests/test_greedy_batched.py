@@ -179,19 +179,36 @@ class TestConstructorAndEngineKeys:
         assert fast.mcmc_result.objective_history == slow.mcmc_result.objective_history
         assert fast.transcript.snapshot() == slow.transcript.snapshot()
 
-    def test_secure_constructor_forces_reference(self, social_graph):
-        constructor = TreeConstructor(
-            TreeConstructorConfig(greedy_kernel="batched"), secure=True
+    def test_secure_constructor_resolves_secure_kernel(self, social_graph):
+        # Secure "auto" now resolves to the batched vectorized-OT kernels;
+        # "reference" pins the per-comparison protocol loops.
+        batched = TreeConstructor(
+            TreeConstructorConfig(greedy_kernel="reference"), secure=True
         )
-        assert constructor._resolve_greedy_kernel() == "reference"
+        assert batched._resolve_greedy_kernel() == "batched"
+        assert batched._resolve_mcmc_kernel() == "auto"
+        pinned = TreeConstructor(
+            TreeConstructorConfig(secure_kernel="reference"), secure=True
+        )
+        assert pinned._resolve_greedy_kernel() == "reference"
+        assert pinned._resolve_mcmc_kernel() == "reference"
 
     def test_config_rejects_unknown_kernel(self):
         with pytest.raises(ValueError):
             TreeConstructorConfig(greedy_kernel="warp-drive")
+        with pytest.raises(ValueError):
+            TreeConstructorConfig(secure_kernel="warp-drive")
 
     def test_engine_cache_keys_distinguish_kernels(self):
         fingerprints = {
             fingerprint_value(TreeConstructorConfig(greedy_kernel=kernel))
+            for kernel in ("auto", "batched", "reference")
+        }
+        assert len(fingerprints) == 3
+
+    def test_engine_cache_keys_distinguish_secure_kernels(self):
+        fingerprints = {
+            fingerprint_value(TreeConstructorConfig(secure_kernel=kernel))
             for kernel in ("auto", "batched", "reference")
         }
         assert len(fingerprints) == 3

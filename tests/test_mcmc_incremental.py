@@ -105,8 +105,9 @@ class TestKernelEquivalence:
         _assert_equivalent(graph, seed=0, iterations=10)
 
     def test_secure_mode(self):
-        # Secure mode routes through the reference loop either way; the
-        # contract is that "auto" and "reference" stay indistinguishable.
+        # Secure "auto" now routes through the incremental kernel's batched
+        # protocol path; it must stay indistinguishable from the secure
+        # reference loop (deeper sweeps live in tests/test_secure_batched.py).
         graph = generate_small_world(num_nodes=30, k=4, seed=9)
         _assert_equivalent(graph, seed=0, iterations=15, secure=True)
 
@@ -131,12 +132,33 @@ class TestKernelEquivalence:
         environment = FederatedEnvironment.from_graph(social_graph, seed=0)
         with pytest.raises(ValueError):
             MCMCBalancer(environment, iterations=1, kernel="warp-drive")
-        balancer = MCMCBalancer(
-            environment, iterations=1, secure=True, kernel="incremental"
-        )
+
+    def test_incremental_kernel_requires_contiguous_ids(self):
+        from repro.graph.ego import EgoNetwork
+
+        rng = np.random.default_rng(0)
+        partition = {
+            2: EgoNetwork(center=2, neighbors=np.array([5]), feature=rng.random(4)),
+            5: EgoNetwork(center=5, neighbors=np.array([2]), feature=rng.random(4)),
+        }
+        environment = FederatedEnvironment.from_partition(partition, seed=0)
+        balancer = MCMCBalancer(environment, iterations=1, kernel="incremental")
         initial = greedy_initialization(environment, rng=np.random.default_rng(0))
         with pytest.raises(ValueError):
             balancer.run(initial)
+
+    def test_secure_incremental_kernel_is_allowed(self, social_graph):
+        environment = FederatedEnvironment.from_graph(social_graph, seed=0)
+        initial = greedy_initialization(environment, rng=np.random.default_rng(0))
+        balancer = MCMCBalancer(
+            environment, iterations=3, secure=True, kernel="incremental",
+            rng=np.random.default_rng(1),
+        )
+        result = balancer.run(initial)
+        assert result.iterations == 3
+        # The batched secure path executed real protocol runs.
+        assert balancer.accountant.comparisons > 0
+        assert balancer.accountant._log
 
 
 class TestTransferDeltas:

@@ -1,0 +1,439 @@
+"""Equivalence tests for the batched secure-mode construction kernels.
+
+The batched secure kernels (vectorised OT simulation,
+``SecureComparator.compare_batch(execute=True)``, the secure greedy kernel
+and the incremental balancer's secure Alg. 3 path) must be *bit-for-bit*
+indistinguishable from the per-comparison reference loops in every recorded
+observable: outcomes / selected sets / assignments, accountant counters and
+capped transcript log, canonical ledger transcript, and final RNG state.
+The RNG block-draw contract of every kernel is pinned through
+``helpers.rng_contract.assert_stream_contract``.
+
+The randomized property sweeps run a bounded number of cases in tier-1; the
+``slow``-marked variants widen them for local runs (``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers.rng_contract import assert_stream_contract, clone_generator
+
+from repro.core import (
+    MCMCBalancer,
+    TreeConstructor,
+    TreeConstructorConfig,
+    greedy_initialization,
+)
+from repro.crypto import (
+    ObliviousTransfer,
+    SecureComparator,
+    TranscriptAccountant,
+    WorkloadComparisonProtocol,
+    verify_zero_knowledge_transcript,
+)
+from repro.federation import FederatedEnvironment
+from repro.graph import generate_facebook_like, generate_small_world, generate_star
+from repro.graph.ego import EgoNetwork
+
+BIT_WIDTHS = (8, 16, 32, 64)
+
+
+def _edge_and_random_operands(bit_width: int, seed: int, count: int = 40):
+    """Random operand pairs plus the protocol's edge values (0, equal, max)."""
+    rng = np.random.default_rng(seed)
+    top = (1 << bit_width) - 1
+    draw_top = min(top, (1 << 62) - 1)
+    left = [int(rng.integers(0, draw_top + 1)) for _ in range(count)]
+    right = [int(rng.integers(0, draw_top + 1)) for _ in range(count)]
+    equal = int(rng.integers(0, draw_top + 1))
+    left += [0, top, top, 0, equal, top]
+    right += [top, 0, top, 0, equal, top]
+    return left, right
+
+
+def _compare_looped(bit_width, left, right):
+    accountant = TranscriptAccountant()
+    comparator = SecureComparator(bit_width=bit_width, accountant=accountant)
+    outcomes = [comparator.compare(l, r).left_ge_right for l, r in zip(left, right)]
+    return outcomes, accountant
+
+
+def _compare_batched(bit_width, left, right, execute):
+    accountant = TranscriptAccountant()
+    comparator = SecureComparator(bit_width=bit_width, accountant=accountant)
+    rng = np.random.default_rng(99)
+    batch = assert_stream_contract(
+        lambda _: comparator.compare_batch(left, right, execute=execute), rng, 0
+    )
+    return [bool(v) for v in batch.left_ge_right], accountant
+
+
+class TestCompareBatchEquivalence:
+    """`compare_batch` (executed protocol) vs the looped scalar protocol."""
+
+    @pytest.mark.parametrize("bit_width", BIT_WIDTHS)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_executed_batch_matches_loop(self, bit_width, seed):
+        left, right = _edge_and_random_operands(bit_width, seed)
+        loop_outcomes, loop_acc = _compare_looped(bit_width, left, right)
+        batch_outcomes, batch_acc = _compare_batched(bit_width, left, right, True)
+        assert batch_outcomes == loop_outcomes
+        assert batch_acc.snapshot() == loop_acc.snapshot()
+        assert batch_acc._log == loop_acc._log
+        assert verify_zero_knowledge_transcript(batch_acc)
+
+    @pytest.mark.parametrize("bit_width", BIT_WIDTHS)
+    def test_analytic_and_executed_paths_agree(self, bit_width):
+        left, right = _edge_and_random_operands(bit_width, 3)
+        analytic = _compare_batched(bit_width, left, right, False)
+        executed = _compare_batched(bit_width, left, right, True)
+        assert analytic[0] == executed[0]
+        assert analytic[1].snapshot() == executed[1].snapshot()
+        assert analytic[1]._log == executed[1]._log
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("bit_width", BIT_WIDTHS)
+    @pytest.mark.parametrize("seed", range(2, 12))
+    def test_executed_batch_matches_loop_wide(self, bit_width, seed):
+        left, right = _edge_and_random_operands(bit_width, seed, count=300)
+        loop_outcomes, loop_acc = _compare_looped(bit_width, left, right)
+        batch_outcomes, batch_acc = _compare_batched(bit_width, left, right, True)
+        assert batch_outcomes == loop_outcomes
+        assert batch_acc.snapshot() == loop_acc.snapshot()
+        assert batch_acc._log == loop_acc._log
+
+    def test_workload_protocol_batch_executes(self):
+        accountant = TranscriptAccountant()
+        protocol = WorkloadComparisonProtocol(bit_width=24, accountant=accountant)
+        batch = protocol.compare_workloads_many([5, 3, 7], [5, 9, 1])
+        assert list(batch.left_ge_right) == [True, False, True]
+        assert accountant.comparisons == 3
+
+
+class TestOTBatchContracts:
+    """Batched OT kernels: equivalence plus the RNG block-draw contract."""
+
+    def test_transfer_batch_draws_exactly_two_per_position(self):
+        message_bits = 16
+        modulus = 1 << message_bits
+        count = 25
+        rng_values = np.random.default_rng(5)
+        m0 = rng_values.integers(0, modulus, size=count)
+        m1 = rng_values.integers(0, modulus, size=count)
+        choices = rng_values.integers(0, 2, size=count)
+
+        batch_acc = TranscriptAccountant()
+        rng = np.random.default_rng(7)
+        chosen = assert_stream_contract(
+            lambda generator: ObliviousTransfer(batch_acc, generator).transfer_batch(
+                m0, m1, choices, message_bits=message_bits
+            ),
+            rng,
+            # Documented contract: one (n, 2) block draw == 2n scalar draws.
+            2 * count,
+            draw=lambda generator, n: generator.integers(modulus, size=(n // 2, 2)),
+        )
+
+        loop_acc = TranscriptAccountant()
+        loop_ot = ObliviousTransfer(loop_acc, np.random.default_rng(7))
+        expected = [
+            loop_ot.transfer(int(a), int(b), int(c), message_bits=message_bits).chosen_message
+            for a, b, c in zip(m0, m1, choices)
+        ]
+        assert list(chosen) == expected
+        assert batch_acc.snapshot() == loop_acc.snapshot()
+        assert batch_acc._log == loop_acc._log
+
+    def test_transfer_table_batch_draws_nothing(self):
+        tables = np.arange(32).reshape(2, 16)
+        rng = np.random.default_rng(11)
+        accountant = TranscriptAccountant()
+        got = assert_stream_contract(
+            lambda generator: ObliviousTransfer(accountant, generator).transfer_table_batch(
+                tables, np.array([3, 9]), message_bits=4
+            ),
+            rng,
+            0,
+        )
+        assert list(got) == [3, 16 + 9]
+        # charge=True matches two scalar transfer_table calls.
+        loop_acc = TranscriptAccountant()
+        loop_ot = ObliviousTransfer(loop_acc, np.random.default_rng(11))
+        loop_ot.transfer_table(tuple(range(16)), 3, message_bits=4)
+        loop_ot.transfer_table(tuple(range(16, 32)), 9, message_bits=4)
+        assert accountant.snapshot() == loop_acc.snapshot()
+        assert accountant._log == loop_acc._log
+
+    def test_transfer_batch_validation(self):
+        ot = ObliviousTransfer(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ot.transfer_batch([1], [2], [3])
+        with pytest.raises(ValueError):
+            ot.transfer_batch([1 << 40], [2], [0], message_bits=32)
+        with pytest.raises(ValueError):
+            ot.transfer_table_batch(np.zeros((2, 4)), np.array([0, 4]))
+        assert ot.transfer_batch([], [], []).shape == (0,)
+
+    def test_clear_batched_kernels_draw_nothing(self, social_graph):
+        """The clear kernels' prose 'draws nothing' contract, now executable."""
+        environment = FederatedEnvironment.from_graph(social_graph, seed=0)
+        assert_stream_contract(
+            lambda generator: greedy_initialization(
+                environment, rng=generator, kernel="batched"
+            ),
+            np.random.default_rng(0),
+            0,
+        )
+        comparator = SecureComparator(bit_width=8)
+        assert_stream_contract(
+            lambda _: comparator.compare_batch([1, 2], [2, 1]),
+            np.random.default_rng(1),
+            0,
+        )
+
+
+def _noncontiguous_environment(seed: int = 0) -> FederatedEnvironment:
+    adjacency = {
+        50: [3, 7, 9, 11],
+        3: [50, 7],
+        7: [50, 3, 9],
+        9: [50, 7],
+        11: [50],
+        42: [],
+    }
+    rng = np.random.default_rng(seed)
+    partition = {
+        center: EgoNetwork(
+            center=center,
+            neighbors=np.asarray(neighbors, dtype=np.int64),
+            feature=rng.random(4),
+        )
+        for center, neighbors in adjacency.items()
+    }
+    return FederatedEnvironment.from_partition(partition, seed=seed)
+
+
+def _run_secure_greedy(make_environment, kernel, seed=0):
+    environment = make_environment()
+    accountant = TranscriptAccountant()
+    rng = np.random.default_rng(seed)
+    assignment = assert_stream_contract(
+        lambda generator: greedy_initialization(
+            environment, accountant=accountant, rng=generator,
+            kernel=kernel, secure=True,
+        ),
+        rng,
+        0,  # greedy is RNG-transparent under every kernel, secure included
+    )
+    return assignment, environment, accountant
+
+
+class TestSecureGreedyEquivalence:
+    @pytest.mark.parametrize(
+        "make_environment",
+        [
+            lambda: FederatedEnvironment.from_graph(
+                generate_facebook_like(seed=3, num_nodes=80), seed=0
+            ),
+            lambda: FederatedEnvironment.from_graph(
+                generate_star(num_leaves=8, seed=2), seed=0
+            ),
+            _noncontiguous_environment,
+        ],
+        ids=["facebook", "star", "noncontiguous"],
+    )
+    def test_secure_batched_matches_reference(self, make_environment):
+        fast, fast_env, fast_acc = _run_secure_greedy(make_environment, "batched")
+        slow, slow_env, slow_acc = _run_secure_greedy(make_environment, "reference")
+        assert fast.as_lists() == slow.as_lists()
+        assert fast_acc.snapshot() == slow_acc.snapshot()
+        assert fast_acc._log == slow_acc._log
+        assert fast_env.ledger.message_records() == slow_env.ledger.message_records()
+        assert fast_env.ledger.summary(fast_env.num_devices) == slow_env.ledger.summary(
+            slow_env.num_devices
+        )
+
+
+def _run_secure_balancer(graph, kernel, seed=0, iterations=25):
+    environment = FederatedEnvironment.from_graph(graph, seed=0)
+    initial = greedy_initialization(environment, rng=np.random.default_rng(seed))
+    balancer = MCMCBalancer(
+        environment,
+        iterations=iterations,
+        rng=np.random.default_rng(seed + 7),
+        secure=True,
+        kernel=kernel,
+    )
+    result = balancer.run(initial)
+    return result, environment, balancer.accountant
+
+
+def _assert_secure_balancing_equivalent(graph, seed=0, iterations=25):
+    fast, fast_env, fast_acc = _run_secure_balancer(
+        graph, "incremental", seed, iterations
+    )
+    slow, slow_env, slow_acc = _run_secure_balancer(
+        graph, "reference", seed, iterations
+    )
+    assert fast.assignment.as_lists() == slow.assignment.as_lists()
+    assert fast.objective_history == slow.objective_history
+    assert fast.accepted_transitions == slow.accepted_transitions
+    assert fast_acc.snapshot() == slow_acc.snapshot()
+    assert fast_acc._log == slow_acc._log
+    assert fast_env.ledger.message_records() == slow_env.ledger.message_records()
+    assert fast_env.ledger.summary(fast_env.num_devices) == slow_env.ledger.summary(
+        slow_env.num_devices
+    )
+    np.testing.assert_array_equal(
+        fast_env.ledger.per_device_message_counts(fast_env.num_devices),
+        slow_env.ledger.per_device_message_counts(slow_env.num_devices),
+    )
+    assert (
+        fast_env.server.rng.bit_generator.state
+        == slow_env.server.rng.bit_generator.state
+    )
+
+
+class TestSecureBalancingEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_facebook_like(self, seed):
+        graph = generate_facebook_like(seed=3, num_nodes=60)
+        _assert_secure_balancing_equivalent(graph, seed=seed)
+
+    def test_small_world(self):
+        graph = generate_small_world(num_nodes=40, k=4, seed=5)
+        _assert_secure_balancing_equivalent(graph, seed=1)
+
+    def test_star(self):
+        _assert_secure_balancing_equivalent(generate_star(num_leaves=8, seed=2))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(2, 8))
+    def test_facebook_like_wide(self, seed):
+        graph = generate_facebook_like(seed=seed, num_nodes=100)
+        _assert_secure_balancing_equivalent(graph, seed=seed, iterations=60)
+
+    def test_secure_transcript_is_zero_knowledge(self):
+        graph = generate_small_world(num_nodes=30, k=4, seed=9)
+        _, _, accountant = _run_secure_balancer(graph, "incremental")
+        assert verify_zero_knowledge_transcript(accountant)
+
+
+class TestSecureConstructorEquivalence:
+    def test_constructor_level_secure_equivalence(self):
+        graph = generate_facebook_like(seed=3, num_nodes=60)
+        results = {}
+        rng_states = {}
+        for secure_kernel in ("batched", "reference"):
+            environment = FederatedEnvironment.from_graph(graph, seed=0)
+            rng = np.random.default_rng(0)
+            constructor = TreeConstructor(
+                TreeConstructorConfig(mcmc_iterations=30, secure_kernel=secure_kernel),
+                rng=rng,
+                secure=True,
+            )
+            results[secure_kernel] = constructor.construct(environment)
+            rng_states[secure_kernel] = rng.bit_generator.state
+        fast, slow = results["batched"], results["reference"]
+        assert fast.assignment.as_lists() == slow.assignment.as_lists()
+        assert fast.greedy_assignment.as_lists() == slow.greedy_assignment.as_lists()
+        assert fast.mcmc_result.objective_history == slow.mcmc_result.objective_history
+        assert fast.transcript.snapshot() == slow.transcript.snapshot()
+        assert fast.transcript._log == slow.transcript._log
+        assert rng_states["batched"] == rng_states["reference"]
+
+
+class TestAccountantCapSemantics:
+    """`record_pattern` LOG_CAP boundaries and `merge` of capped accountants."""
+
+    def _reference_log(self, pattern, count, cap):
+        accountant = TranscriptAccountant()
+        accountant.LOG_CAP = cap
+        for _ in range(count):
+            for description, bits in pattern:
+                accountant.record(description, bits)
+        return accountant
+
+    @pytest.mark.parametrize("count", [4, 5, 6])  # one below / at / above cap
+    def test_single_entry_pattern_around_the_cap(self, count):
+        pattern = [("ot-n", 144)]
+        cap = 5
+        bulk = TranscriptAccountant()
+        bulk.LOG_CAP = cap
+        bulk.record_pattern(pattern, count)
+        reference = self._reference_log(pattern, count, cap)
+        assert bulk._log == reference._log
+        assert bulk.snapshot() == reference.snapshot()
+        assert len(bulk._log) == min(count, cap)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4])
+    def test_multi_entry_pattern_straddles_the_cap(self, count):
+        # A 3-entry pattern against a cap of 7: repetitions 2 and 3 are cut
+        # mid-pattern, so the log ends on a partial repetition exactly where
+        # the looped recording would stop.
+        pattern = [("ot-n", 144), ("ot-n", 144), ("and-gate", 8)]
+        cap = 7
+        bulk = TranscriptAccountant()
+        bulk.LOG_CAP = cap
+        bulk.record_pattern(pattern, count)
+        reference = self._reference_log(pattern, count, cap)
+        assert bulk._log == reference._log
+        assert bulk.snapshot() == reference.snapshot()
+
+    def test_record_pattern_on_an_already_full_log(self):
+        accountant = TranscriptAccountant()
+        accountant.LOG_CAP = 3
+        accountant.record_pattern([("ot", 1)], 3)
+        accountant.record_pattern([("ot-n", 2)], 5)
+        assert accountant._log == ["ot:1", "ot:1", "ot:1"]
+        assert accountant.messages == 8  # counters keep accumulating
+
+    def test_merge_of_capped_accountants(self):
+        first = TranscriptAccountant()
+        first.LOG_CAP = 4
+        first.record_pattern([("ot", 1)], 3)
+        second = TranscriptAccountant()
+        second.LOG_CAP = 4
+        second.record_pattern([("and-gate", 2)], 4)
+        second.comparisons = 2
+        first.merge(second)
+        # Counters add; the log absorbs the other's entries up to the cap.
+        assert first.messages == 7
+        assert first.bits == 3 * 1 + 4 * 2
+        assert first.comparisons == 2
+        assert first._log == ["ot:1", "ot:1", "ot:1", "and-gate:2"]
+
+    def test_merge_into_a_full_log_keeps_it_capped(self):
+        first = TranscriptAccountant()
+        first.LOG_CAP = 2
+        first.record_pattern([("ot", 1)], 2)
+        second = TranscriptAccountant()
+        second.record("and-gate", 2)
+        first.merge(second)
+        assert first._log == ["ot:1", "ot:1"]
+        assert first.messages == 3
+
+
+class TestSecureModeRNGContract:
+    def test_secure_balancer_consumes_stream_like_reference(self):
+        """Transition sampling is the only consumer; kernels draw nothing."""
+        graph = generate_small_world(num_nodes=30, k=4, seed=9)
+        states = {}
+        for kernel in ("incremental", "reference"):
+            environment = FederatedEnvironment.from_graph(graph, seed=0)
+            initial = greedy_initialization(environment, rng=np.random.default_rng(0))
+            rng = np.random.default_rng(7)
+            MCMCBalancer(
+                environment, iterations=20, rng=rng, secure=True, kernel=kernel
+            ).run(initial)
+            states[kernel] = rng.bit_generator.state
+        assert states["incremental"] == states["reference"]
+
+    def test_clone_generator_is_independent(self):
+        rng = np.random.default_rng(0)
+        twin = clone_generator(rng)
+        assert rng.integers(1000) == twin.integers(1000)
+        rng.integers(1000)
+        assert rng.bit_generator.state != twin.bit_generator.state
