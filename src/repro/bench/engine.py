@@ -9,6 +9,11 @@ any previously recorded speedup fails the run):
   builder;
 * **one training epoch** — fast backend (cached transposes, CSR segment
   reductions, fused pooling / constant-input reuse) vs the reference kernels;
+* **the training overhaul** — the fused-layer + folded-propagation epoch vs
+  the unfused reference autograd graph (final metrics, ledger totals and RNG
+  states asserted identical), the folded vs unfolded propagation chain, and
+  the cross-sweep-point batched trainer vs the per-point loop (all metrics
+  asserted bit-for-bit identical);
 * **MCMC balancing** — the incremental array-backed kernel (delta workload
   updates, maintained candidate set, columnar transcript) vs a faithful
   emulation of the pre-PR from-scratch kernel;
@@ -82,6 +87,7 @@ EPSILONS = (0.5, 1.0, 2.0, 3.0, 4.0)
 TRACKED_SPEEDUPS = (
     "treebatch_assembly",
     "training_epoch",
+    "training_overhaul",
     "mcmc_balancing",
     "greedy_initialization",
     "secure_construction",
@@ -405,6 +411,150 @@ def bench_epoch(graph, split, args) -> dict:
     return results
 
 
+def bench_training_overhaul(graph, split, args) -> dict:
+    """Time the fused+folded training path against its ablations.
+
+    Three comparisons, each with its correctness asserted before timing:
+
+    * **fused+folded vs unfused reference** — the tracked ``speedup``.  The
+      two paths build different autograd graphs (one node per layer with
+      closed-form adjoints + the folded ``P Â`` operator vs the composite
+      reference ops), so per-epoch losses agree only to rounding; the final
+      metrics, ledger totals and RNG states must match exactly.
+    * **folded vs unfolded propagation** — same fused kernels, with and
+      without collapsing the mean-pool/propagation chain into one operator.
+    * **batched vs per-point sweep training** — the cross-point stacked
+      trainer vs the sequential loop, asserted bit-for-bit identical
+      (including per-epoch losses).
+
+    Epoch timings use the marginal-cost form of ``bench_epoch`` so one-time
+    setup does not pollute the per-epoch numbers.
+    """
+    from repro.core.lumos import run_supervised_many
+
+    epochs = max(args.epochs, 10)
+    base_config = _config(args)
+
+    def _outcome(system, history):
+        return {
+            "test_accuracy": history.test_accuracy,
+            "best_val_accuracy": history.best_val_accuracy,
+            "train_accuracy": tuple(history.train_accuracy),
+            "val_accuracy": tuple(history.val_accuracy),
+            "ledger": tuple(sorted(
+                system.environment.ledger.summary(
+                    system.environment.num_devices
+                ).items()
+            )),
+            "rng_state": repr(system.rng.bit_generator.state),
+        }
+
+    def _fresh_run(config, backend):
+        with use_backend(backend):
+            system = LumosSystem(graph, config, store=ArtifactStore())
+            _, history = system.trainer().train_supervised(
+                graph.labels, split, epochs=epochs
+            )
+        return _outcome(system, history), list(history.losses)
+
+    fused_outcome, fused_losses = _fresh_run(base_config, "numpy")
+    unfolded_outcome, unfolded_losses = _fresh_run(
+        base_config.without_propagation_folding(), "numpy"
+    )
+    reference_outcome, reference_losses = _fresh_run(
+        base_config.without_propagation_folding(), "reference"
+    )
+    for label, outcome, losses in (
+        ("unfused reference", reference_outcome, reference_losses),
+        ("unfolded", unfolded_outcome, unfolded_losses),
+    ):
+        if fused_outcome != outcome:
+            raise AssertionError(
+                f"fused+folded training diverged from the {label} path: "
+                f"{fused_outcome} != {outcome}"
+            )
+        if not np.allclose(fused_losses, losses, rtol=1e-9, atol=1e-12):
+            raise AssertionError(
+                f"fused+folded losses diverged from the {label} path beyond "
+                f"rounding"
+            )
+
+    timings = {}
+    for label, config, backend in (
+        ("fused_folded", base_config, "numpy"),
+        ("fused_unfolded", base_config.without_propagation_folding(), "numpy"),
+        ("reference", base_config.without_propagation_folding(), "reference"),
+    ):
+        with use_backend(backend):
+            system = LumosSystem(graph, config, store=ArtifactStore())
+            trainer = system.trainer()
+
+            def run(num_epochs: int) -> float:
+                start = time.perf_counter()
+                trainer.train_supervised(graph.labels, split, epochs=num_epochs)
+                return time.perf_counter() - start
+
+            run(1)  # warm caches (prepared + folded matrices, profiles)
+            # The tracked speedup is a ratio of two marginal costs, so it is
+            # twice as sensitive to scheduling noise as a single timing —
+            # take the min over two extra repeats to stabilise it.
+            long = _best(lambda: run(epochs), args.repeat + 2)
+            short = _best(lambda: run(1), args.repeat + 2)
+            timings[label] = max(long - short, 0.0) / (epochs - 1)
+
+    def _sweep(label, train):
+        def fn() -> float:
+            store = ArtifactStore()
+            systems = [
+                LumosSystem(graph, _config(args, epsilon), store=store)
+                for epsilon in EPSILONS
+            ]
+            start = time.perf_counter()
+            results = train(systems)
+            elapsed = time.perf_counter() - start
+            fn.outcome = tuple(
+                (_outcome(system, result.history), tuple(result.history.losses))
+                for system, result in zip(systems, results)
+            )
+            return elapsed
+
+        fn.__name__ = label
+        return fn
+
+    per_point = _sweep(
+        "per_point",
+        lambda systems: [s.run_supervised(split, epochs=epochs) for s in systems],
+    )
+    batched = _sweep(
+        "batched",
+        lambda systems: run_supervised_many(systems, split, epochs=epochs),
+    )
+    per_point_seconds = _best(per_point, args.repeat)
+    batched_seconds = _best(batched, args.repeat)
+    if per_point.outcome != batched.outcome:
+        raise AssertionError(
+            "batched sweep training diverged from the per-point loop"
+        )
+
+    return {
+        "devices": graph.num_nodes,
+        "epochs": epochs,
+        "fused_folded_epoch_seconds": timings["fused_folded"],
+        "fused_unfolded_epoch_seconds": timings["fused_unfolded"],
+        "reference_epoch_seconds": timings["reference"],
+        "speedup": timings["reference"] / timings["fused_folded"]
+        if timings["fused_folded"] else float("nan"),
+        "folding_speedup": timings["fused_unfolded"] / timings["fused_folded"]
+        if timings["fused_folded"] else float("nan"),
+        "sweep_points": len(EPSILONS),
+        "per_point_sweep_seconds": per_point_seconds,
+        "batched_sweep_seconds": batched_seconds,
+        "batching_speedup": per_point_seconds / batched_seconds
+        if batched_seconds else float("nan"),
+        "test_accuracy": fused_outcome["test_accuracy"],
+    }
+
+
 def _seed_construct(environment, config, rng):
     """Pre-refactor tree construction: greedy + the from-scratch MCMC kernel."""
     from repro.core.constructor import TreeConstructionResult
@@ -473,15 +623,21 @@ def _sweep_seed_path(graph, split, args) -> tuple:
 
 
 def _sweep_engine(graph, split, args):
+    from repro.core.lumos import run_supervised_many
+
     store = ArtifactStore()
     pipeline_seconds = 0.0
+    systems = []
     start = time.perf_counter()
     for epsilon in EPSILONS:
         pipeline_start = time.perf_counter()
         system = LumosSystem(graph, _config(args, epsilon), store=store)
         system.tree_batch()  # partition -> construction -> draws -> ldp -> batch
         pipeline_seconds += time.perf_counter() - pipeline_start
-        system.run_supervised(split)
+        systems.append(system)
+    # Same call the runner's serial path makes: all points' training loops
+    # stacked into batched backend kernels (bit-identical to per-point).
+    run_supervised_many(systems, split)
     return time.perf_counter() - start, pipeline_seconds, store
 
 
@@ -515,6 +671,10 @@ def bench_epsilon_sweep(graph, split, args) -> dict:
         "seed_pipeline_seconds": seed_pipeline,
         "engine_pipeline_seconds": best_pipeline,
         "pipeline_speedup": seed_pipeline / best_pipeline,
+        # How training-bound the engine path still is after the overhaul
+        # (the pre-overhaul sweep spent ~85% of its time training).
+        "engine_training_seconds": best - best_pipeline,
+        "engine_training_share": (best - best_pipeline) / best if best else 0.0,
         "construction_runs": summary["construction"]["misses"],
         "construction_hits": summary["construction"]["hits"],
         "ldp_draws_hits": summary["ldp_draws"]["hits"],
@@ -671,6 +831,15 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
     print(f"[bench_engine] one epoch: fast {epoch['numpy_seconds'] * 1e3:.2f} ms "
           f"vs reference {epoch['reference_seconds'] * 1e3:.2f} ms "
           f"({epoch['speedup']:.2f}x)")
+    overhaul = bench_training_overhaul(graph, split, args)
+    print(f"[bench_engine] training overhaul ({overhaul['devices']} devices, "
+          f"{overhaul['epochs']} epochs): fused+folded "
+          f"{overhaul['fused_folded_epoch_seconds'] * 1e3:.2f} ms/epoch vs "
+          f"reference {overhaul['reference_epoch_seconds'] * 1e3:.2f} ms "
+          f"({overhaul['speedup']:.2f}x; folding {overhaul['folding_speedup']:.2f}x; "
+          f"batched sweep {overhaul['batched_sweep_seconds']:.2f} s vs per-point "
+          f"{overhaul['per_point_sweep_seconds']:.2f} s, "
+          f"{overhaul['batching_speedup']:.2f}x)")
     mcmc = bench_mcmc_balancing(graph, args)
     print(f"[bench_engine] MCMC balancing ({mcmc['iterations']} iterations, "
           f"{mcmc['devices']} devices): incremental "
@@ -721,6 +890,7 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
         },
         "treebatch_assembly": treebatch,
         "training_epoch": epoch,
+        "training_overhaul": overhaul,
         "mcmc_balancing": mcmc,
         "greedy_initialization": greedy,
         "secure_construction": secure,

@@ -192,28 +192,47 @@ class EmbeddingInitStage(Stage):
 class TreeBatchStage(Stage):
     """Assembly of the block-diagonal union graph the trainer runs on.
 
-    Keyed on the construction only — the LDP features enter the batch as a
-    plain row-fill, so across an epsilon sweep the cached structure is
-    re-bound to the current point's exchange on replay instead of being
-    reassembled (``TreeBatch.with_initialization``).
+    Keyed on the construction and the trainer backend — the LDP features
+    enter the batch as a plain row-fill, so across an epsilon sweep the
+    cached structure is re-bound to the current point's exchange on replay
+    instead of being reassembled (``TreeBatch.with_initialization``).  The
+    backend participates in the key because the artifact carries
+    backend-prepared operators (the folded pool/propagation chain), and
+    cached artifacts must never mix backends.
     """
 
     name = "tree_batch"
 
     def key(self, context: PipelineContext) -> str:
         return stage_key(
-            "batch", context.keys["construction"], f"d={context.graph.num_features}"
+            "batch",
+            context.keys["construction"],
+            f"d={context.graph.num_features}",
+            f"backend={context.config.trainer.backend}",
         )
 
     def compute(self, context: PipelineContext) -> Any:
         from ..core.trainer import TreeBatch
+        from ..nn.backend import use_backend
 
-        return TreeBatch.build(
+        batch = TreeBatch.build(
             context.environment,
             context.artifacts["construction"],
             context.artifacts["ldp_init"],
             context.graph.num_features,
         )
+        # Prewarm the pooling operators on the cached artifact: every sweep
+        # point re-bound via with_initialization shares them (fold_chain runs
+        # once per construction, not once per epsilon).
+        trainer_config = context.config.trainer
+        if trainer_config.fold_propagation:
+            if trainer_config.backend == "auto":
+                batch.folded_pool_adjacency()
+            else:
+                with use_backend(trainer_config.backend):
+                    batch.folded_pool_adjacency()
+            batch.pool_row_sums()
+        return batch
 
     def replay(self, context: PipelineContext, value: Any) -> Any:
         return value.with_initialization(context.artifacts["ldp_init"])

@@ -64,17 +64,44 @@ class GATLayer(Module):
         """Dimensionality of the produced node embeddings."""
         return self.num_heads * self.out_features if self.concat_heads else self.out_features
 
-    def forward(self, features: Tensor, edge_index: np.ndarray) -> Tensor:
+    def forward(
+        self,
+        features: Tensor,
+        edge_index: np.ndarray,
+        activation: Optional[str] = None,
+    ) -> Tensor:
         """Apply attention over ``edge_index`` (shape ``(2, E)``, src -> dst).
 
         ``edge_index`` should include self loops; :func:`repro.gnn.models.
-        build_edge_index` adds them.
+        build_edge_index` adds them.  ``activation`` (``"relu"``) is folded
+        into the fused layer node when the backend allows fusion, and applied
+        as a separate tensor op on the composite path.
         """
         edge_index = np.asarray(edge_index, dtype=np.int64)
         if edge_index.ndim != 2 or edge_index.shape[0] != 2:
             raise ValueError("edge_index must have shape (2, E)")
         num_nodes = features.data.shape[0]
         src, dst = edge_index
+
+        if get_backend().allow_fused:
+            # Whole layer as a single autograd node: transform, attention
+            # logits, leaky-relu + segment softmax, weighted aggregation,
+            # head concat/mean, bias and activation with closed-form
+            # adjoints (parity pinned by tests/test_nn_backend.py).
+            return F.fused_gat_layer(
+                features,
+                src,
+                dst,
+                self.weight,
+                self.attention_src,
+                self.attention_dst,
+                self.bias,
+                self.num_heads,
+                self.out_features,
+                self.concat_heads,
+                self.negative_slope,
+                activation=activation,
+            )
 
         transformed = features @ self.weight  # (N, H*F)
         transformed = transformed.reshape(num_nodes, self.num_heads, self.out_features)
@@ -84,17 +111,9 @@ class GATLayer(Module):
         dst_scores = (transformed * self.attention_dst.reshape(1, self.num_heads, self.out_features)).sum(axis=-1)
 
         # Per-edge logits and softmax over incoming edges of each destination.
-        if get_backend().allow_fused:
-            # Fused gather/leaky-relu/segment-softmax kernel: one autograd
-            # node with the closed-form softmax adjoint (same algebra as the
-            # composite below; parity pinned by tests/test_nn_backend.py).
-            attention = F.edge_attention_softmax(
-                src_scores, dst_scores, src, dst, num_nodes, self.negative_slope
-            )  # (E, H)
-        else:
-            edge_logits = F.gather(src_scores, src) + F.gather(dst_scores, dst)
-            edge_logits = edge_logits.leaky_relu(self.negative_slope)
-            attention = F.segment_softmax(edge_logits, dst, num_nodes)  # (E, H)
+        edge_logits = F.gather(src_scores, src) + F.gather(dst_scores, dst)
+        edge_logits = edge_logits.leaky_relu(self.negative_slope)
+        attention = F.segment_softmax(edge_logits, dst, num_nodes)  # (E, H)
 
         # Weighted aggregation of source embeddings into destinations.
         messages = F.gather(transformed, src)  # (E, H, F)
@@ -105,7 +124,10 @@ class GATLayer(Module):
             out = aggregated.reshape(num_nodes, self.num_heads * self.out_features)
         else:
             out = aggregated.mean(axis=1)
-        return out + self.bias
+        out = out + self.bias
+        if activation == "relu":
+            out = out.relu()
+        return out
 
     def __repr__(self) -> str:
         return (

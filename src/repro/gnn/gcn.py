@@ -16,9 +16,34 @@ import scipy.sparse as sp
 
 from ..nn import functional as F
 from ..nn import init
-from ..nn.backend import get_backend
+from ..nn.backend import PreparedMatrix, get_backend
 from ..nn.module import Module, Parameter
 from ..nn.tensor import Tensor, _as_array
+
+#: Engage the zero-row compressed propagation only when at least this
+#: fraction of input rows is exactly zero.  Union-graph feature matrices
+#: qualify (virtual tree nodes carry all-zero rows); post-relu hidden
+#: activations do not, which keeps the per-call column-slice cost off the
+#: evaluation path where the input changes every epoch.
+_COMPRESS_ZERO_FRACTION = 0.25
+
+
+def _compress_zero_rows(matrix, data: np.ndarray, backend):
+    """Drop all-zero rows of ``data`` and the matching operator columns.
+
+    ``matrix @ data`` only reads the columns of ``matrix`` paired with
+    nonzero rows of ``data``: the omitted products are exact zeros, so the
+    compressed product equals the full one (up to IEEE ``-0.0``/``+0.0``
+    on rows whose every contribution was dropped, which compare equal).
+    Returns ``None`` when too few rows are zero for the slice to pay off.
+    """
+    nonzero = np.flatnonzero(data.any(axis=1))
+    if nonzero.size > (1.0 - _COMPRESS_ZERO_FRACTION) * data.shape[0]:
+        return None
+    csr = matrix.csr if isinstance(matrix, PreparedMatrix) else sp.csr_matrix(matrix)
+    compressed = backend.prepare_matrix(sp.csr_matrix(csr[:, nonzero]))
+    rows = np.ascontiguousarray(data[nonzero])
+    return compressed, rows, nonzero
 
 
 class GCNLayer(Module):
@@ -42,7 +67,12 @@ class GCNLayer(Module):
         self._propagated_input_cache = None
         self._forward_cache = None
 
-    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+    def forward(
+        self,
+        features: Tensor,
+        adjacency: sp.spmatrix,
+        activation: Optional[str] = None,
+    ) -> Tensor:
         """Apply the convolution.
 
         Parameters
@@ -51,6 +81,11 @@ class GCNLayer(Module):
             Node feature tensor of shape ``(N, in_features)``.
         adjacency:
             Pre-normalised propagation matrix of shape ``(N, N)``.
+        activation:
+            Optional activation (``"relu"``) folded into the layer.  On the
+            fused paths it executes inside the single layer node; on the
+            composite path it is applied as a separate tensor op — same
+            mathematics either way.
         """
         if adjacency.shape[0] != features.data.shape[0]:
             raise ValueError(
@@ -58,15 +93,24 @@ class GCNLayer(Module):
                 f"{features.data.shape[0]} rows"
             )
         backend = get_backend()
-        if backend.allow_fused and not features.requires_grad:
-            return self._propagate_constant(features, adjacency, backend)
+        if backend.allow_fused:
+            if not features.requires_grad:
+                return self._propagate_constant(features, adjacency, backend, activation)
+            # Whole layer (spmm -> affine -> activation) as one autograd node.
+            return F.fused_gcn_layer(
+                features, adjacency, self.weight, self.bias, activation=activation
+            )
         support = features @ self.weight
         out = F.sparse_matmul(adjacency, support)
         if self.bias is not None:
             out = out + self.bias
+        if activation == "relu":
+            out = out.relu()
         return out
 
-    def _propagate_constant(self, features: Tensor, adjacency, backend) -> Tensor:
+    def _propagate_constant(
+        self, features: Tensor, adjacency, backend, activation: Optional[str] = None
+    ) -> Tensor:
         """``(adjacency @ features) @ W + b`` for a constant ``features`` input.
 
         Two reuse opportunities apply when the input does not require
@@ -74,7 +118,10 @@ class GCNLayer(Module):
 
         * associativity — ``Â (X W) = (Â X) W``, and ``Â X`` is constant
           across epochs for the input layer, so it is propagated once and
-          every subsequent forward is a single dense matmul;
+          every subsequent forward is a single dense matmul; when the input
+          is mostly zero rows (see :func:`_compress_zero_rows`) the layer
+          instead keeps the compressed pair ``(Â_nz, X_nz)`` and computes
+          ``Â_nz (X_nz W)`` — a slimmer gemm plus a cheap sparse product;
         * schedule — the trainer runs one gradient forward and one evaluation
           forward per epoch, and the evaluation pass at epoch ``t`` sees the
           same input/weight/bias arrays as the gradient pass at epoch
@@ -82,7 +129,9 @@ class GCNLayer(Module):
           output itself is reused across the pair.
 
         Both memos key on object identity with strong references.  The
-        backward pass uses the folded adjoint ``W.grad = (Â X)^T grad``.
+        backward pass uses the folded adjoint ``W.grad = (Â X)^T grad``.  An
+        optional ``activation`` is folded into the memoised value (and its
+        mask into the adjoint), so the whole layer stays one autograd node.
         """
         prepared = backend.prepare_matrix(adjacency)
         cached_input = self._propagated_input_cache
@@ -91,29 +140,56 @@ class GCNLayer(Module):
             or cached_input[0] is not prepared
             or cached_input[1] is not features.data
         ):
-            cached_input = (prepared, features.data, backend.spmm(prepared, features.data))
+            compressed = _compress_zero_rows(prepared, features.data, backend)
+            if compressed is not None:
+                # Mostly-zero input (the union graph's virtual rows): keep
+                # the compressed operand pair and run ``Â_nz (X_nz W)`` per
+                # forward — the slim gemm beats precomputing ``Â X``.
+                cached_input = (prepared, features.data, None, compressed)
+            else:
+                cached_input = (
+                    prepared,
+                    features.data,
+                    backend.spmm(prepared, features.data),
+                    None,
+                )
             self._propagated_input_cache = cached_input
-        propagated = cached_input[2]
+        propagated, compressed = cached_input[2], cached_input[3]
 
         bias_data = self.bias.data if self.bias is not None else None
         entry = self._forward_cache
         if (
             entry is None
-            or entry[0] is not propagated
+            or entry[0] is not cached_input
             or entry[1] is not self.weight.data
             or entry[2] is not bias_data
+            or entry[3] != activation
         ):
-            value = propagated @ self.weight.data
+            if propagated is not None:
+                value = propagated @ self.weight.data
+            else:
+                value = backend.spmm(compressed[0], compressed[1] @ self.weight.data)
             if bias_data is not None:
                 value = value + bias_data
-            entry = (propagated, self.weight.data, bias_data, value)
+            mask = None
+            if activation == "relu":
+                mask = (value > 0).astype(np.float64)
+                value = value * mask
+            entry = (cached_input, self.weight.data, bias_data, activation, value, mask)
             self._forward_cache = entry
-        value = entry[3]
+        value, mask = entry[4], entry[5]
         weight, bias = self.weight, self.bias
 
         def backward(grad: np.ndarray) -> None:
             grad = _as_array(grad)
-            weight._accumulate(propagated.T @ grad)
+            if mask is not None:
+                grad = grad * mask
+            if propagated is not None:
+                weight._accumulate(propagated.T @ grad)
+            else:
+                weight._accumulate(
+                    compressed[1].T @ backend.spmm_t(compressed[0], grad)
+                )
             if bias is not None:
                 bias._accumulate(grad)
 

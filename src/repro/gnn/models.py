@@ -122,19 +122,36 @@ class GNNEncoder(Module):
         self.dropout = Dropout(config.dropout, rng=rng)
         self.output_dim = dims[-1]
 
+    def _apply_layer(
+        self, layer: Module, hidden: Tensor, graph_input: GraphInput, activation=None
+    ) -> Tensor:
+        if isinstance(layer, GCNLayer):
+            return layer(hidden, graph_input.adjacency, activation=activation)
+        return layer(hidden, graph_input.edge_index, activation=activation)
+
+    @property
+    def final_layer(self) -> Module:
+        """The last message-passing layer (foldable with pooling for GCN)."""
+        return self._modules[self._layer_names[-1]]
+
+    def forward_hidden(self, features: Tensor, graph_input: GraphInput) -> Tensor:
+        """Run every layer but the last (relu + dropout after each).
+
+        The Lumos model uses this to take over the final layer itself when it
+        can fold that layer's propagation with the mean-pool operator.
+        """
+        hidden = features
+        for name in self._layer_names[:-1]:
+            hidden = self._apply_layer(
+                self._modules[name], hidden, graph_input, activation="relu"
+            )
+            hidden = self.dropout(hidden)
+        return hidden
+
     def forward(self, features: Tensor, graph_input: GraphInput) -> Tensor:
         """Encode all nodes of the graph described by ``graph_input``."""
-        hidden = features
-        for index, name in enumerate(self._layer_names):
-            layer = self._modules[name]
-            if isinstance(layer, GCNLayer):
-                hidden = layer(hidden, graph_input.adjacency)
-            else:
-                hidden = layer(hidden, graph_input.edge_index)
-            if index < len(self._layer_names) - 1:
-                hidden = hidden.relu()
-                hidden = self.dropout(hidden)
-        return hidden
+        hidden = self.forward_hidden(features, graph_input)
+        return self._apply_layer(self.final_layer, hidden, graph_input)
 
 
 class NodeClassifier(Module):

@@ -138,6 +138,271 @@ def edge_attention_softmax(
     return Tensor._make(attention, (src_scores, dst_scores), backward)
 
 
+def sparse_matmul_many(
+    matrix: Union[sp.spmatrix, PreparedMatrix], tensor: Tensor
+) -> Tensor:
+    """Batched :func:`sparse_matmul` over a stacked ``(K, N, d)`` tensor.
+
+    Slice ``k`` of the result is ``matrix @ tensor[k]``; the whole stack goes
+    through one backend call (:meth:`OpsBackend.spmm_many`), which the fast
+    backends collapse into a single multi-vector CSR product.  Used by the
+    cross-sweep-point batched trainer, where ``K`` sweep points share one
+    propagation matrix.
+    """
+    backend = get_backend()
+    prepared = backend.prepare_matrix(matrix)
+    out_data = backend.spmm_many(prepared, tensor.data)
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(backend.spmm_t_many(prepared, _as_array(grad)))
+
+    return Tensor._make(out_data, (tensor,), backward)
+
+
+def fused_gcn_layer(
+    features: Tensor,
+    matrix: Union[sp.spmatrix, PreparedMatrix],
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    activation: Optional[str] = None,
+    bias_operator: Optional[np.ndarray] = None,
+) -> Tensor:
+    """One fused autograd node for a full GCN layer.
+
+    Computes ``act(M @ (X W) + b)`` — spmm, affine and activation in a single
+    node with closed-form adjoints, instead of the four-node composite
+    (matmul, sparse matmul, bias add, relu).  ``M`` may be the plain
+    propagation matrix or a folded chain (:meth:`OpsBackend.fold_chain`), e.g.
+    ``pool @ adjacency`` for the last layer of the Lumos model; when the fold
+    absorbs a row-scaling prefix, ``bias_operator`` carries that prefix's row
+    sums ``s`` so the bias enters as ``s ⊗ b`` (``M (X W + 1 bᵀ) = M X W +
+    (M 1) ⊗ b``).
+
+    Adjoints (``g`` is the incoming gradient, masked by ``act'``):
+
+    * ``db = Σ_rows g`` (or ``Σ_rows (s ⊙ g)`` under a folded bias),
+    * ``g_s = Mᵀ g``,
+    * ``dW = Xᵀ g_s``,
+    * ``dX = g_s Wᵀ``.
+    """
+    if activation not in (None, "relu"):
+        raise ValueError(f"unsupported fused activation '{activation}'")
+    backend = get_backend()
+    prepared = backend.prepare_matrix(matrix)
+    support = features.data @ weight.data
+    out = backend.spmm(prepared, support)
+    if bias is not None:
+        if bias_operator is None:
+            out = out + bias.data
+        else:
+            out = out + np.multiply.outer(bias_operator, bias.data)
+    mask: Optional[np.ndarray] = None
+    if activation == "relu":
+        mask = (out > 0).astype(np.float64)
+        out = out * mask
+
+    def backward(grad: np.ndarray) -> None:
+        grad = _as_array(grad)
+        if mask is not None:
+            grad = grad * mask
+        if bias is not None:
+            if bias_operator is None:
+                bias._accumulate(grad)
+            else:
+                bias._accumulate((grad * bias_operator[:, None]).sum(axis=0))
+        grad_support = backend.spmm_t(prepared, grad)
+        weight._accumulate(features.data.T @ grad_support)
+        if features.requires_grad:
+            features._accumulate(grad_support @ weight.data.T)
+
+    parents = (features, weight) if bias is None else (features, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def fused_gat_layer(
+    features: Tensor,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: Tensor,
+    attention_src: Tensor,
+    attention_dst: Tensor,
+    bias: Tensor,
+    num_heads: int,
+    head_dim: int,
+    concat_heads: bool,
+    negative_slope: float = 0.2,
+    activation: Optional[str] = None,
+) -> Tensor:
+    """One fused autograd node for a full multi-head GAT layer.
+
+    Runs the entire layer — linear transform, per-node attention logits,
+    leaky-relu + segment softmax over incoming edges, weighted aggregation,
+    head concat/mean, bias, optional activation — as a single node whose
+    forward executes the same float operations as the composite graph (parity
+    is pinned by ``tests/test_nn_backend.py``).  The backward pass applies
+    the closed-form adjoint of every stage in reverse, reusing the stored
+    forward intermediates (``transformed``, ``attention``, ``slope``).
+    """
+    if activation not in (None, "relu"):
+        raise ValueError(f"unsupported fused activation '{activation}'")
+    backend = get_backend()
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    num_nodes = features.data.shape[0]
+    transformed = (features.data @ weight.data).reshape(num_nodes, num_heads, head_dim)
+    src_vec = attention_src.data.reshape(1, num_heads, head_dim)
+    dst_vec = attention_dst.data.reshape(1, num_heads, head_dim)
+    src_scores = (transformed * src_vec).sum(axis=-1)  # (N, H)
+    dst_scores = (transformed * dst_vec).sum(axis=-1)
+
+    logits = backend.take_rows(src_scores, src) + backend.take_rows(dst_scores, dst)
+    slope = np.where(logits > 0, 1.0, negative_slope)
+    activated = logits * slope
+    seg_max = backend.segment_max(activated, dst, num_nodes)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    exp_values = np.exp(activated - backend.take_rows(seg_max, dst))
+    denominator = backend.segment_sum(exp_values, dst, num_nodes) + 1e-16
+    attention = exp_values / backend.take_rows(denominator, dst)  # (E, H)
+
+    messages = backend.take_rows(transformed, src)  # (E, H, F)
+    weighted = messages * attention[:, :, None]
+    aggregated = backend.segment_sum(weighted, dst, num_nodes)  # (N, H, F)
+    if concat_heads:
+        out = aggregated.reshape(num_nodes, num_heads * head_dim)
+    else:
+        out = aggregated.sum(axis=1) * (1.0 / num_heads)
+    out = out + bias.data
+    mask: Optional[np.ndarray] = None
+    if activation == "relu":
+        mask = (out > 0).astype(np.float64)
+        out = out * mask
+
+    def backward(grad: np.ndarray) -> None:
+        g = _as_array(grad)
+        if mask is not None:
+            g = g * mask
+        bias._accumulate(g)
+        if concat_heads:
+            g_agg = g.reshape(num_nodes, num_heads, head_dim)
+        else:
+            g_agg = np.broadcast_to(
+                (g * (1.0 / num_heads))[:, None, :], (num_nodes, num_heads, head_dim)
+            )
+        g_weighted = backend.take_rows(g_agg, dst)  # (E, H, F)
+        g_messages = g_weighted * attention[:, :, None]
+        g_attention = (g_weighted * messages).sum(axis=-1)  # (E, H)
+        # Closed-form segment-softmax adjoint (the max shift and the 1e-16
+        # denominator guard are segment-constant, so both cancel).
+        weighted_grad = attention * g_attention
+        segment_dot = backend.segment_sum(weighted_grad, dst, num_nodes)
+        g_logits = (
+            weighted_grad - attention * backend.take_rows(segment_dot, dst)
+        ) * slope
+        g_src_scores = backend.scatter_rows(g_logits, src, num_nodes)  # (N, H)
+        g_dst_scores = backend.scatter_rows(g_logits, dst, num_nodes)
+        g_transformed = (
+            g_src_scores[:, :, None] * src_vec
+            + g_dst_scores[:, :, None] * dst_vec
+            + backend.scatter_rows(g_messages, src, num_nodes)
+        )
+        attention_src._accumulate((transformed * g_src_scores[:, :, None]).sum(axis=0))
+        attention_dst._accumulate((transformed * g_dst_scores[:, :, None]).sum(axis=0))
+        flat = g_transformed.reshape(num_nodes, num_heads * head_dim)
+        weight._accumulate(features.data.T @ flat)
+        if features.requires_grad:
+            features._accumulate(flat @ weight.data.T)
+
+    parents = (features, weight, attention_src, attention_dst, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def fused_pool_head(
+    node_embeddings: Tensor,
+    matrix: Union[sp.spmatrix, PreparedMatrix],
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+) -> Tensor:
+    """Fused mean-pool + linear head: ``(P @ E) W + b`` as one autograd node.
+
+    ``P`` is the constant mean-pool matrix; the adjoints are ``db = Σ_rows g``,
+    ``dW = (P E)ᵀ g`` and ``dE = Pᵀ (g Wᵀ)``.
+    """
+    backend = get_backend()
+    prepared = backend.prepare_matrix(matrix)
+    pooled = backend.spmm(prepared, node_embeddings.data)
+    out = pooled @ weight.data
+    if bias is not None:
+        out = out + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        g = _as_array(grad)
+        if bias is not None:
+            bias._accumulate(g)
+        weight._accumulate(pooled.T @ g)
+        if node_embeddings.requires_grad:
+            node_embeddings._accumulate(backend.spmm_t(prepared, g @ weight.data.T))
+
+    parents = (node_embeddings, weight) if bias is None else (node_embeddings, weight, bias)
+    return Tensor._make(out, parents, backward)
+
+
+def fused_folded_head(
+    hidden: Tensor,
+    matrix: Union[sp.spmatrix, PreparedMatrix],
+    layer_weight: Tensor,
+    layer_bias: Tensor,
+    head_weight: Tensor,
+    head_bias: Tensor,
+    bias_operator: np.ndarray,
+) -> Tensor:
+    """Final folded GCN layer and classifier head as one autograd node.
+
+    Computes ``(M (H W_f) + s ⊗ b_f) W_h + b_h`` — with ``M`` the folded
+    ``pool @ adjacency`` operator and ``s`` its row sums — reassociated as
+
+        ``M (H (W_f W_h)) + s ⊗ (b_f W_h) + b_h``.
+
+    Both weight products collapse into one tiny ``(d, C)`` matrix, so the
+    wide gemm, the sparse product and every intermediate run at
+    ``num_classes`` columns instead of ``hidden_dim``.  Like propagation
+    folding this reassociates float ops (the benchmark gates it on exact
+    final metrics and rtol-level losses against the reference path).
+
+    Adjoints (``g`` the incoming gradient, ``S = Mᵀ g``, ``T = Hᵀ S``,
+    ``r = sᵀ g``):
+
+    * ``db_h = Σ_rows g``,
+    * ``dW_h = W_fᵀ T + b_f ⊗ r``,
+    * ``dW_f = T W_hᵀ``,  ``db_f = r W_hᵀ``,
+    * ``dH = S (W_f W_h)ᵀ``.
+    """
+    backend = get_backend()
+    prepared = backend.prepare_matrix(matrix)
+    combined = layer_weight.data @ head_weight.data
+    support = hidden.data @ combined
+    pooled = backend.spmm(prepared, support)
+    combined_bias = layer_bias.data @ head_weight.data
+    out = pooled + np.multiply.outer(bias_operator, combined_bias) + head_bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        g = _as_array(grad)
+        head_bias._accumulate(g)
+        row_grad = bias_operator @ g
+        scattered = backend.spmm_t(prepared, g)
+        projected = hidden.data.T @ scattered
+        head_weight._accumulate(
+            layer_weight.data.T @ projected
+            + np.multiply.outer(layer_bias.data, row_grad)
+        )
+        layer_weight._accumulate(projected @ head_weight.data.T)
+        layer_bias._accumulate(row_grad @ head_weight.data.T)
+        if hidden.requires_grad:
+            hidden._accumulate(scattered @ combined.T)
+
+    parents = (hidden, layer_weight, layer_bias, head_weight, head_bias)
+    return Tensor._make(out, parents, backward)
+
+
 def gather_rows_columns(tensor: Tensor, column_index: np.ndarray) -> Tensor:
     """Pick one entry per row: ``out[i] = tensor[i, column_index[i]]``.
 
@@ -169,6 +434,62 @@ def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
+def fused_masked_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    total: float,
+) -> Tensor:
+    """Masked mean cross-entropy as a single autograd node.
+
+    Computes ``-(sum_i weights[i] * log_softmax(logits)[i, targets[i]]) /
+    total``.  The forward replicates the composite ``log_softmax ->
+    gather -> masked mean`` chain float operation for float operation (same
+    max-shift, same reduction order), so the loss value is bit-identical to
+    the un-fused expression.  The backward uses the closed-form adjoint
+    ``(softmax - onehot) * weights / total`` instead of unwinding the five
+    intermediate nodes.
+
+    ``logits`` may be ``(N, C)`` (scalar loss) or a stacked ``(K, N, C)``
+    batch sharing ``targets``/``weights`` across slices (loss vector of
+    shape ``(K,)``, slice ``k`` bit-identical to the 2-D call on
+    ``logits[k]``).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    data = logits.data
+    if data.ndim not in (2, 3):
+        raise ValueError("fused_masked_cross_entropy expects 2-D or 3-D logits")
+    shifted = data - data.max(axis=-1, keepdims=True)
+    exp_values = np.exp(shifted)
+    denominator = exp_values.sum(axis=-1, keepdims=True)
+    log_probabilities = shifted - np.log(denominator)
+    rows = np.arange(data.shape[-2])
+    if data.ndim == 2:
+        picked = log_probabilities[rows, targets]
+    else:
+        # The advanced-index gather returns a transposed-stride (K, N)
+        # view-like array; materialise it C-contiguous so the row reduction
+        # below uses the same pairwise summation as the 1-D per-point sum.
+        picked = np.ascontiguousarray(log_probabilities[:, rows, targets])
+    value = -(picked * weights).sum(axis=-1) / total
+    coefficients = weights / total
+
+    def backward(grad: np.ndarray) -> None:
+        grad = _as_array(grad)
+        delta = exp_values / denominator
+        if data.ndim == 2:
+            delta[rows, targets] -= 1.0
+            scale = coefficients * grad
+            logits._accumulate(delta * scale[:, None])
+        else:
+            delta[:, rows, targets] -= 1.0
+            scale = coefficients[None, :] * np.reshape(grad, (-1, 1))
+            logits._accumulate(delta * scale[:, :, None])
+
+    return Tensor._make(value, (logits,), backward)
+
+
 def dropout(
     tensor: Tensor,
     probability: float,
@@ -186,7 +507,15 @@ def dropout(
     rng = rng if rng is not None else np.random.default_rng()
     keep_probability = 1.0 - probability
     mask = (rng.random(tensor.data.shape) < keep_probability) / keep_probability
-    return tensor * Tensor(mask)
+    # One fused node instead of the generic broadcasting multiply: same
+    # forward multiply, and the adjoint is the same ``grad * mask`` without
+    # the unbroadcast bookkeeping (the mask always matches the input shape).
+    value = tensor.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(_as_array(grad) * mask)
+
+    return Tensor._make(value, (tensor,), backward)
 
 
 def linear(tensor: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
+from .backend import get_backend
 from .tensor import Tensor
 
 
@@ -33,12 +34,17 @@ def cross_entropy(
         raise ValueError("cross_entropy expects 2-D logits")
     if targets.shape[0] != logits.data.shape[0]:
         raise ValueError("logits and targets must agree on the first dimension")
-    log_probabilities = F.log_softmax(logits, axis=-1)
-    picked = F.gather_rows_columns(log_probabilities, targets)
     if mask is not None:
         mask = np.asarray(mask, dtype=bool)
         weights = mask.astype(np.float64)
         total = max(weights.sum(), 1.0)
+        if get_backend().allow_fused:
+            # Single-node loss: forward bits match the composite chain
+            # below; backward is the closed-form softmax adjoint.
+            return F.fused_masked_cross_entropy(logits, targets, weights, total)
+    log_probabilities = F.log_softmax(logits, axis=-1)
+    picked = F.gather_rows_columns(log_probabilities, targets)
+    if mask is not None:
         return -(picked * Tensor(weights)).sum() / total
     return -picked.mean()
 

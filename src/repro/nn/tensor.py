@@ -295,16 +295,21 @@ class Tensor:
         out_data = self.data @ other_t.data
 
         def backward(grad: np.ndarray) -> None:
+            # Only the last two axes participate in the product; leading axes
+            # are batch dimensions.  Transposing with swapaxes(-1, -2) keeps
+            # batch axes in place (a bare .T would reverse them), and
+            # _accumulate's unbroadcast folds gradients over broadcast batch
+            # dimensions back onto the operand's shape.
             if self.requires_grad:
                 if other_t.data.ndim == 1:
                     self._accumulate(np.outer(grad, other_t.data) if self.data.ndim == 2 else grad * other_t.data)
                 else:
-                    self._accumulate(grad @ other_t.data.T)
+                    self._accumulate(grad @ np.swapaxes(other_t.data, -1, -2))
             if other_t.requires_grad:
                 if self.data.ndim == 1:
                     other_t._accumulate(np.outer(self.data, grad))
                 else:
-                    other_t._accumulate(self.data.T @ grad)
+                    other_t._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
 
         return Tensor._make(out_data, (self, other_t), backward)
 

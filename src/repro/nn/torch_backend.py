@@ -1,0 +1,158 @@
+"""Optional torch implementation of the :class:`~repro.nn.backend.OpsBackend`.
+
+This module is imported lazily by the backend registry and **only** when
+``torch`` is importable — the repository never depends on torch, and every
+test that exercises this backend skips cleanly when it is absent (install
+the ``repro[torch]`` extra to enable it).
+
+The backend mirrors the numpy kernels on CPU torch tensors in float64 so it
+can be held to the same bit-for-bit-tolerance parity bar as the fast numpy
+backend: constant propagation matrices become cached ``torch.sparse_csr``
+tensors, row gather/scatter use ``index_select`` / ``index_add_``, and the
+segment reductions use ``scatter_reduce``.  Inputs and outputs stay numpy
+arrays at the interface so the autograd engine and every caller are oblivious
+to which backend is active.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+import torch
+
+from ..caching import IdentityCache
+from .backend import MatrixLike, OpsBackend, PreparedMatrix
+
+
+class _PreparedTorchMatrix:
+    """A constant sparse matrix converted to torch CSR, with its transpose."""
+
+    __slots__ = ("csr", "csr_t", "shape", "__weakref__")
+
+    def __init__(self, matrix: sp.csr_matrix) -> None:
+        transpose = matrix.T.tocsr()
+        self.csr = _to_torch_csr(matrix)
+        self.csr_t = _to_torch_csr(transpose)
+        self.shape = matrix.shape
+
+
+def _to_torch_csr(matrix: sp.csr_matrix) -> "torch.Tensor":
+    return torch.sparse_csr_tensor(
+        torch.from_numpy(matrix.indptr.astype(np.int64)),
+        torch.from_numpy(matrix.indices.astype(np.int64)),
+        torch.from_numpy(np.asarray(matrix.data, dtype=np.float64)),
+        size=matrix.shape,
+        dtype=torch.float64,
+    )
+
+
+def _as_tensor(array: np.ndarray) -> "torch.Tensor":
+    return torch.from_numpy(np.ascontiguousarray(array, dtype=np.float64))
+
+
+class TorchBackend(OpsBackend):
+    """CPU torch kernels behind the numpy-facing backend interface."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        self._matrix_cache = IdentityCache()
+
+    # -- sparse matmul -------------------------------------------------- #
+    def _prepare_torch(self, matrix: MatrixLike) -> _PreparedTorchMatrix:
+        if isinstance(matrix, _PreparedTorchMatrix):
+            return matrix
+        anchor = matrix.csr if isinstance(matrix, PreparedMatrix) else matrix
+        prepared = self._matrix_cache.get(anchor)
+        if prepared is None:
+            prepared = self._matrix_cache.put(
+                anchor, _PreparedTorchMatrix(anchor.tocsr())
+            )
+        return prepared
+
+    def prepare_matrix(self, matrix: MatrixLike) -> MatrixLike:
+        # Keep the scipy object as the canonical handle (PreparedMatrix is
+        # what the rest of the stack passes around); the torch CSR tensors
+        # are cached against it on first product.
+        if isinstance(matrix, PreparedMatrix):
+            return matrix
+        return PreparedMatrix(matrix)
+
+    def spmm(self, matrix: MatrixLike, dense: np.ndarray) -> np.ndarray:
+        prepared = self._prepare_torch(matrix)
+        return (prepared.csr @ _as_tensor(dense)).numpy()
+
+    def spmm_t(self, matrix: MatrixLike, dense: np.ndarray) -> np.ndarray:
+        prepared = self._prepare_torch(matrix)
+        return (prepared.csr_t @ _as_tensor(dense)).numpy()
+
+    def spmm_many(self, matrix: MatrixLike, dense_stack: np.ndarray) -> np.ndarray:
+        return self._spmm_stack(self._prepare_torch(matrix).csr, dense_stack)
+
+    def spmm_t_many(self, matrix: MatrixLike, dense_stack: np.ndarray) -> np.ndarray:
+        return self._spmm_stack(self._prepare_torch(matrix).csr_t, dense_stack)
+
+    @staticmethod
+    def _spmm_stack(csr: "torch.Tensor", dense_stack: np.ndarray) -> np.ndarray:
+        num_slices, num_rows, width = dense_stack.shape
+        flat = (
+            _as_tensor(dense_stack)
+            .permute(1, 0, 2)
+            .reshape(num_rows, num_slices * width)
+            .contiguous()
+        )
+        out = csr @ flat
+        return (
+            out.reshape(out.shape[0], num_slices, width)
+            .permute(1, 0, 2)
+            .contiguous()
+            .numpy()
+        )
+
+    def fold_chain(self, matrices: Sequence[MatrixLike]) -> MatrixLike:
+        # Fold in scipy (a one-off setup cost), then serve products through
+        # the cached torch CSR tensors like any other prepared matrix.
+        if not matrices:
+            raise ValueError("fold_chain requires at least one matrix")
+        product: Optional[sp.csr_matrix] = None
+        for matrix in matrices:
+            csr = matrix.csr if isinstance(matrix, PreparedMatrix) else sp.csr_matrix(matrix)
+            product = csr if product is None else product @ csr
+        return self.prepare_matrix(product)
+
+    # -- row gather / scatter ------------------------------------------- #
+    def take_rows(self, data: np.ndarray, index: np.ndarray) -> np.ndarray:
+        tensor = torch.from_numpy(np.ascontiguousarray(data))
+        picked = tensor.index_select(0, torch.from_numpy(index.astype(np.int64)))
+        return picked.numpy()
+
+    def scatter_rows(self, values: np.ndarray, index: np.ndarray, num_rows: int) -> np.ndarray:
+        out = torch.zeros(
+            (num_rows,) + tuple(values.shape[1:]), dtype=torch.float64
+        )
+        if values.size:
+            out.index_add_(
+                0, torch.from_numpy(index.astype(np.int64)), _as_tensor(values)
+            )
+        return out.numpy()
+
+    # -- segment reductions --------------------------------------------- #
+    def segment_counts(self, index: np.ndarray, num_segments: int) -> np.ndarray:
+        counts = torch.bincount(
+            torch.from_numpy(index.astype(np.int64)), minlength=num_segments
+        )
+        return counts.to(torch.float64).numpy()
+
+    def segment_max(self, values: np.ndarray, index: np.ndarray, num_segments: int) -> np.ndarray:
+        out = torch.full((num_segments,) + tuple(values.shape[1:]), -np.inf, dtype=torch.float64)
+        if values.size:
+            gather_index = torch.from_numpy(index.astype(np.int64))
+            expand_shape = (index.shape[0],) + tuple(values.shape[1:])
+            gather_index = gather_index.reshape(
+                (-1,) + (1,) * (values.ndim - 1)
+            ).expand(expand_shape)
+            out.scatter_reduce_(0, gather_index, _as_tensor(values), reduce="amax")
+        return out.numpy()

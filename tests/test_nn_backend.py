@@ -301,3 +301,470 @@ class TestParameterRebindInvariant:
             layer.weight.data = layer.weight.data + 1.0  # rebind
             second = layer(features, adjacency).data
             assert not np.allclose(first, second)
+
+
+class TestBatchedKernels:
+    """spmm_many / spmm_t_many / fold_chain and the batched autograd ops."""
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_spmm_many_matches_per_slice_oracle(self, name):
+        rng = np.random.default_rng(30)
+        matrix = _random_csr(rng, 14, 14)
+        stack = rng.standard_normal((4, 14, 6))
+        with use_backend(name) as backend:
+            collapsed = backend.spmm_many(matrix, stack)
+            collapsed_t = backend.spmm_t_many(matrix, stack)
+            # The base-class default executes the per-slice definition with
+            # this backend's own spmm: the bit-for-bit oracle for the
+            # collapsed kernel.
+            oracle = OpsBackend.spmm_many(backend, matrix, stack)
+            oracle_t = OpsBackend.spmm_t_many(backend, matrix, stack)
+        assert collapsed.shape == (4, 14, 6)
+        np.testing.assert_array_equal(collapsed, oracle)
+        np.testing.assert_array_equal(collapsed_t, oracle_t)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_fold_chain_matches_sequential_application(self, name):
+        rng = np.random.default_rng(31)
+        pool = _random_csr(rng, 5, 14, density=0.4)
+        adjacency = _random_csr(rng, 14, 14)
+        dense = rng.standard_normal((14, 3))
+        with use_backend(name) as backend:
+            folded = backend.fold_chain([pool, adjacency])
+            out = backend.spmm(folded, dense)
+            expected = backend.spmm(pool, backend.spmm(adjacency, dense))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_fold_chain_single_and_empty(self):
+        rng = np.random.default_rng(32)
+        matrix = _random_csr(rng, 6, 6)
+        with use_backend("numpy") as backend:
+            dense = rng.standard_normal((6, 2))
+            np.testing.assert_allclose(
+                backend.spmm(backend.fold_chain([matrix]), dense),
+                matrix @ dense,
+                atol=1e-12,
+            )
+            with pytest.raises(ValueError):
+                backend.fold_chain([])
+
+    def test_sparse_matmul_many_gradients_match_per_slice(self):
+        rng = np.random.default_rng(33)
+        matrix = _random_csr(rng, 10, 10)
+        stack_data = rng.standard_normal((3, 10, 4))
+        upstream = rng.standard_normal((3, 10, 4))
+        with use_backend("numpy"):
+            stacked = Tensor(stack_data.copy(), requires_grad=True)
+            out = F.sparse_matmul_many(matrix, stacked)
+            (out * Tensor(upstream)).sum().backward()
+            per_slice_out, per_slice_grad = [], []
+            for k in range(3):
+                single = Tensor(stack_data[k].copy(), requires_grad=True)
+                slice_out = F.sparse_matmul(matrix, single)
+                (slice_out * Tensor(upstream[k])).sum().backward()
+                per_slice_out.append(slice_out.data)
+                per_slice_grad.append(single.grad)
+        np.testing.assert_array_equal(out.data, np.stack(per_slice_out))
+        np.testing.assert_array_equal(stacked.grad, np.stack(per_slice_grad))
+
+    def test_batched_matmul_gradients_match_per_slice(self):
+        # (K, N, d) @ (d, o) and (K, N, d) @ (K, d, o): the backward pass
+        # must swap the *last two* axes, not transpose the whole stack.
+        rng = np.random.default_rng(34)
+        stack_data = rng.standard_normal((3, 7, 5))
+        shared_data = rng.standard_normal((5, 2))
+        batched_data = rng.standard_normal((3, 5, 2))
+        upstream = rng.standard_normal((3, 7, 2))
+        for rhs_data in (shared_data, batched_data):
+            lhs = Tensor(stack_data.copy(), requires_grad=True)
+            rhs = Tensor(rhs_data.copy(), requires_grad=True)
+            ((lhs @ rhs) * Tensor(upstream)).sum().backward()
+            lhs_expected = np.zeros_like(stack_data)
+            rhs_expected = np.zeros_like(rhs_data)
+            for k in range(3):
+                rhs_slice = rhs_data if rhs_data.ndim == 2 else rhs_data[k]
+                lhs_expected[k] = upstream[k] @ rhs_slice.T
+                if rhs_data.ndim == 2:
+                    rhs_expected += stack_data[k].T @ upstream[k]
+                else:
+                    rhs_expected[k] = stack_data[k].T @ upstream[k]
+            np.testing.assert_allclose(lhs.grad, lhs_expected, atol=1e-12)
+            np.testing.assert_allclose(rhs.grad, rhs_expected, atol=1e-12)
+
+
+class TestFusedLayerParity:
+    """Fused single-node layers vs the composite graphs they replace.
+
+    Randomised float64 shapes; forward values AND every gradient must agree.
+    """
+
+    def _composite_gcn(self, features, matrix, weight, bias, activation):
+        out = F.sparse_matmul(matrix, features @ weight)
+        if bias is not None:
+            out = out + bias
+        if activation == "relu":
+            out = out.relu()
+        return out
+
+    @pytest.mark.parametrize("activation", [None, "relu"])
+    @pytest.mark.parametrize("with_bias", [True, False])
+    def test_fused_gcn_layer_matches_composite(self, activation, with_bias):
+        rng = np.random.default_rng(40)
+        nodes, d_in, d_out = int(rng.integers(8, 20)), int(rng.integers(3, 9)), int(rng.integers(2, 7))
+        matrix = _random_csr(rng, nodes, nodes)
+        features_data = rng.standard_normal((nodes, d_in))
+        weight_data = rng.standard_normal((d_in, d_out))
+        bias_data = rng.standard_normal(d_out) if with_bias else None
+        upstream = rng.standard_normal((nodes, d_out))
+        results = {}
+        with use_backend("numpy"):
+            for mode in ("fused", "composite"):
+                features = Tensor(features_data.copy(), requires_grad=True)
+                weight = Tensor(weight_data.copy(), requires_grad=True)
+                bias = Tensor(bias_data.copy(), requires_grad=True) if with_bias else None
+                if mode == "fused":
+                    out = F.fused_gcn_layer(features, matrix, weight, bias, activation)
+                else:
+                    out = self._composite_gcn(features, matrix, weight, bias, activation)
+                (out * Tensor(upstream)).sum().backward()
+                results[mode] = (
+                    out.data,
+                    features.grad,
+                    weight.grad,
+                    bias.grad if with_bias else np.zeros(1),
+                )
+        for fused_part, composite_part in zip(results["fused"], results["composite"]):
+            np.testing.assert_allclose(fused_part, composite_part, atol=1e-12)
+
+    def test_fused_gcn_layer_folded_bias_operator(self):
+        # M = fold(P, A) with bias entering as (P @ 1) ⊗ b must equal the
+        # unfolded P @ (A (X W) + 1 bᵀ) — same math, reassociated.
+        rng = np.random.default_rng(41)
+        pool = _random_csr(rng, 6, 15, density=0.4)
+        adjacency = _random_csr(rng, 15, 15)
+        features_data = rng.standard_normal((15, 5))
+        weight_data = rng.standard_normal((5, 4))
+        bias_data = rng.standard_normal(4)
+        upstream = rng.standard_normal((6, 4))
+        with use_backend("numpy") as backend:
+            folded = backend.fold_chain([pool, adjacency])
+            row_sums = np.asarray(pool.sum(axis=1)).ravel()
+
+            features = Tensor(features_data.copy(), requires_grad=True)
+            weight = Tensor(weight_data.copy(), requires_grad=True)
+            bias = Tensor(bias_data.copy(), requires_grad=True)
+            fused = F.fused_gcn_layer(
+                features, folded, weight, bias, bias_operator=row_sums
+            )
+            (fused * Tensor(upstream)).sum().backward()
+
+            features_u = Tensor(features_data.copy(), requires_grad=True)
+            weight_u = Tensor(weight_data.copy(), requires_grad=True)
+            bias_u = Tensor(bias_data.copy(), requires_grad=True)
+            unfolded = F.sparse_matmul(
+                pool, F.sparse_matmul(adjacency, features_u @ weight_u) + bias_u
+            )
+            (unfolded * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(fused.data, unfolded.data, atol=1e-10)
+        np.testing.assert_allclose(features.grad, features_u.grad, atol=1e-10)
+        np.testing.assert_allclose(weight.grad, weight_u.grad, atol=1e-10)
+        np.testing.assert_allclose(bias.grad, bias_u.grad, atol=1e-10)
+
+    def test_fused_pool_head_matches_composite(self):
+        rng = np.random.default_rng(42)
+        pool = _random_csr(rng, 5, 12, density=0.5)
+        embeddings_data = rng.standard_normal((12, 6))
+        weight_data = rng.standard_normal((6, 3))
+        bias_data = rng.standard_normal(3)
+        upstream = rng.standard_normal((5, 3))
+        with use_backend("numpy"):
+            embeddings = Tensor(embeddings_data.copy(), requires_grad=True)
+            weight = Tensor(weight_data.copy(), requires_grad=True)
+            bias = Tensor(bias_data.copy(), requires_grad=True)
+            fused = F.fused_pool_head(embeddings, pool, weight, bias)
+            (fused * Tensor(upstream)).sum().backward()
+
+            embeddings_c = Tensor(embeddings_data.copy(), requires_grad=True)
+            weight_c = Tensor(weight_data.copy(), requires_grad=True)
+            bias_c = Tensor(bias_data.copy(), requires_grad=True)
+            composite = F.sparse_matmul(pool, embeddings_c) @ weight_c + bias_c
+            (composite * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(fused.data, composite.data, atol=1e-12)
+        np.testing.assert_allclose(embeddings.grad, embeddings_c.grad, atol=1e-12)
+        np.testing.assert_allclose(weight.grad, weight_c.grad, atol=1e-12)
+        np.testing.assert_allclose(bias.grad, bias_c.grad, atol=1e-12)
+
+    @pytest.mark.parametrize("concat_heads", [True, False])
+    def test_fused_gat_layer_matches_composite(self, concat_heads):
+        # Same layer parameters, fused (allow_fused=True) vs the composite
+        # graph forced via the allow_fused=False escape hatch on the SAME
+        # fast backend — so any drift is the fusion, not the kernels.
+        from repro.nn.backend import FastNumpyBackend
+
+        rng = np.random.default_rng(43)
+        nodes, edges = int(rng.integers(8, 16)), int(rng.integers(25, 50))
+        edge_index = np.stack(
+            [rng.integers(0, nodes, size=edges), rng.integers(0, nodes, size=edges)]
+        )
+        features_data = rng.standard_normal((nodes, 5))
+        layer = GATLayer(5, 3, num_heads=2, concat_heads=concat_heads,
+                         rng=np.random.default_rng(44))
+        out_dim = layer.output_dim
+        upstream = rng.standard_normal((nodes, out_dim))
+        hatch = FastNumpyBackend()
+        hatch.allow_fused = False
+        results = {}
+        for mode, backend in (("fused", "numpy"), ("composite", hatch)):
+            layer.zero_grad()
+            with use_backend(backend):
+                features = Tensor(features_data.copy(), requires_grad=True)
+                out = layer(features, edge_index, activation="relu")
+                (out * Tensor(upstream)).sum().backward()
+            results[mode] = (
+                out.data,
+                features.grad,
+                layer.weight.grad.copy(),
+                layer.attention_src.grad.copy(),
+                layer.attention_dst.grad.copy(),
+                layer.bias.grad.copy(),
+            )
+        for fused_part, composite_part in zip(results["fused"], results["composite"]):
+            np.testing.assert_allclose(fused_part, composite_part, atol=1e-10)
+
+    def test_fused_folded_head_matches_unfolded_chain(self):
+        # (M (H W_f) + s ⊗ b_f) W_h + b_h with the weight products collapsed
+        # must match the unfolded fused_gcn_layer -> pool_head pair.
+        rng = np.random.default_rng(47)
+        pool = _random_csr(rng, 6, 14, density=0.4)
+        adjacency = _random_csr(rng, 14, 14)
+        hidden_data = rng.standard_normal((14, 5))
+        layer_weight_data = rng.standard_normal((5, 4))
+        layer_bias_data = rng.standard_normal(4)
+        head_weight_data = rng.standard_normal((4, 3))
+        head_bias_data = rng.standard_normal(3)
+        upstream = rng.standard_normal((6, 3))
+        with use_backend("numpy") as backend:
+            folded = backend.fold_chain([pool, adjacency])
+            row_sums = np.asarray(pool.sum(axis=1)).ravel()
+
+            hidden = Tensor(hidden_data.copy(), requires_grad=True)
+            layer_weight = Tensor(layer_weight_data.copy(), requires_grad=True)
+            layer_bias = Tensor(layer_bias_data.copy(), requires_grad=True)
+            head_weight = Tensor(head_weight_data.copy(), requires_grad=True)
+            head_bias = Tensor(head_bias_data.copy(), requires_grad=True)
+            fused = F.fused_folded_head(
+                hidden, folded, layer_weight, layer_bias,
+                head_weight, head_bias, row_sums,
+            )
+            (fused * Tensor(upstream)).sum().backward()
+
+            hidden_u = Tensor(hidden_data.copy(), requires_grad=True)
+            layer_weight_u = Tensor(layer_weight_data.copy(), requires_grad=True)
+            layer_bias_u = Tensor(layer_bias_data.copy(), requires_grad=True)
+            head_weight_u = Tensor(head_weight_data.copy(), requires_grad=True)
+            head_bias_u = Tensor(head_bias_data.copy(), requires_grad=True)
+            pooled = F.fused_gcn_layer(
+                hidden_u, folded, layer_weight_u, layer_bias_u,
+                bias_operator=row_sums,
+            )
+            unfolded = pooled @ head_weight_u + head_bias_u
+            (unfolded * Tensor(upstream)).sum().backward()
+        np.testing.assert_allclose(fused.data, unfolded.data, atol=1e-10)
+        np.testing.assert_allclose(hidden.grad, hidden_u.grad, atol=1e-10)
+        np.testing.assert_allclose(layer_weight.grad, layer_weight_u.grad, atol=1e-10)
+        np.testing.assert_allclose(layer_bias.grad, layer_bias_u.grad, atol=1e-10)
+        np.testing.assert_allclose(head_weight.grad, head_weight_u.grad, atol=1e-10)
+        np.testing.assert_allclose(head_bias.grad, head_bias_u.grad, atol=1e-10)
+
+    def test_fused_masked_cross_entropy_matches_composite_bitwise(self):
+        rng = np.random.default_rng(48)
+        nodes, classes = 17, 4
+        logits_data = rng.standard_normal((nodes, classes))
+        targets = rng.integers(0, classes, size=nodes)
+        mask = rng.random(nodes) < 0.5
+        weights = mask.astype(np.float64)
+        total = max(weights.sum(), 1.0)
+        with use_backend("numpy"):
+            logits = Tensor(logits_data.copy(), requires_grad=True)
+            fused = F.fused_masked_cross_entropy(logits, targets, weights, total)
+            fused.backward()
+
+            logits_c = Tensor(logits_data.copy(), requires_grad=True)
+            picked = F.gather_rows_columns(
+                F.log_softmax(logits_c, axis=-1), targets
+            )
+            composite = -(picked * Tensor(weights)).sum() / total
+            composite.backward()
+        # The fused forward replays the composite chain op for op: bitwise.
+        assert fused.data == composite.data
+        np.testing.assert_allclose(logits.grad, logits_c.grad, atol=1e-12)
+
+    def test_fused_masked_cross_entropy_stacked_matches_per_slice(self):
+        rng = np.random.default_rng(49)
+        stack, nodes, classes = 3, 11, 5
+        logits_data = rng.standard_normal((stack, nodes, classes))
+        targets = rng.integers(0, classes, size=nodes)
+        weights = (rng.random(nodes) < 0.6).astype(np.float64)
+        total = max(weights.sum(), 1.0)
+        upstream = rng.standard_normal(stack)
+        with use_backend("numpy"):
+            logits = Tensor(logits_data.copy(), requires_grad=True)
+            losses = F.fused_masked_cross_entropy(logits, targets, weights, total)
+            (losses * Tensor(upstream)).sum().backward()
+            per_slice = []
+            slice_grads = []
+            for k in range(stack):
+                slice_logits = Tensor(logits_data[k].copy(), requires_grad=True)
+                loss = F.fused_masked_cross_entropy(
+                    slice_logits, targets, weights, total
+                )
+                (loss * Tensor(upstream[k])).backward()
+                per_slice.append(loss.data)
+                slice_grads.append(slice_logits.grad)
+        # Each stacked slice must be bit-identical to the 2-D call on it.
+        assert losses.data.shape == (stack,)
+        np.testing.assert_array_equal(losses.data, np.asarray(per_slice))
+        np.testing.assert_allclose(
+            logits.grad, np.stack(slice_grads), atol=1e-12
+        )
+
+    def test_allow_fused_escape_hatch_on_gcn(self):
+        from repro.nn.backend import FastNumpyBackend
+
+        rng = np.random.default_rng(45)
+        adjacency = _random_csr(rng, 9, 9)
+        features_data = rng.standard_normal((9, 4))
+        layer = GCNLayer(4, 3, rng=np.random.default_rng(46))
+        hatch = FastNumpyBackend()
+        hatch.allow_fused = False
+        results = {}
+        for mode, backend in (("fused", "numpy"), ("composite", hatch)):
+            layer.zero_grad()
+            with use_backend(backend):
+                features = Tensor(features_data.copy(), requires_grad=True)
+                out = layer(features, adjacency, activation="relu")
+                (out * out).sum().backward()
+            results[mode] = (out.data, features.grad, layer.weight.grad.copy(),
+                             layer.bias.grad.copy())
+        for fused_part, composite_part in zip(results["fused"], results["composite"]):
+            np.testing.assert_allclose(fused_part, composite_part, atol=1e-10)
+
+
+class TestUseBackendExceptionSafety:
+    def test_restored_after_body_raises(self):
+        before = get_backend()
+        with pytest.raises(RuntimeError, match="boom"):
+            with use_backend("reference"):
+                assert get_backend().name == "reference"
+                raise RuntimeError("boom")
+        assert get_backend() is before
+
+    def test_restored_after_failed_switch(self):
+        before = get_backend()
+        with pytest.raises(KeyError):
+            with use_backend("no-such-backend"):
+                pragma = "unreachable"  # noqa: F841
+        assert get_backend() is before
+
+    def test_nested_contexts_unwind_in_order(self):
+        before = get_backend()
+        with use_backend("dense") as outer:
+            with pytest.raises(ValueError):
+                with use_backend("reference"):
+                    assert get_backend().name == "reference"
+                    raise ValueError("inner")
+            assert get_backend() is outer
+        assert get_backend() is before
+
+
+class TestDenseBackendCacheBudget:
+    def _matrices(self, count, size=10):
+        rng = np.random.default_rng(50)
+        return [_random_csr(rng, size, size, density=0.5) for _ in range(count)]
+
+    def test_eviction_respects_byte_budget(self):
+        from repro.nn.backend import DenseBackend
+
+        # One densified 10x10 float64 operator is 800 bytes; a 2000-byte
+        # budget holds two.
+        backend = DenseBackend(cache_budget_bytes=2000)
+        matrices = self._matrices(3)
+        dense = np.ones((10, 4))
+        for matrix in matrices:
+            backend.spmm(matrix, dense)
+        assert len(backend._dense_cache) == 2
+        assert backend._dense_cache_bytes <= 2000
+        # The oldest entry was evicted; using it again still computes
+        # correctly (and re-caches, evicting the next-oldest).
+        out = backend.spmm(matrices[0], dense)
+        np.testing.assert_allclose(out, matrices[0] @ dense, atol=1e-12)
+        assert id(matrices[0]) in backend._dense_cache
+
+    def test_newest_entry_survives_tiny_budget(self):
+        from repro.nn.backend import DenseBackend
+
+        backend = DenseBackend(cache_budget_bytes=1)
+        matrices = self._matrices(2)
+        dense = np.ones((10, 2))
+        for matrix in matrices:
+            out = backend.spmm(matrix, dense)
+            np.testing.assert_allclose(out, matrix @ dense, atol=1e-12)
+            assert len(backend._dense_cache) == 1
+
+    def test_recent_use_protects_from_eviction(self):
+        from repro.nn.backend import DenseBackend
+
+        backend = DenseBackend(cache_budget_bytes=2000)
+        matrices = self._matrices(3)
+        dense = np.ones((10, 2))
+        backend.spmm(matrices[0], dense)
+        backend.spmm(matrices[1], dense)
+        backend.spmm(matrices[0], dense)  # refresh 0 -> 1 is now LRU
+        backend.spmm(matrices[2], dense)
+        assert id(matrices[0]) in backend._dense_cache
+        assert id(matrices[1]) not in backend._dense_cache
+        assert id(matrices[2]) in backend._dense_cache
+
+    def test_budget_validation(self):
+        from repro.nn.backend import DenseBackend
+
+        with pytest.raises(ValueError):
+            DenseBackend(cache_budget_bytes=0)
+
+
+_torch_missing = __import__("importlib.util", fromlist=["util"]).find_spec("torch") is None
+
+
+class TestTorchBackend:
+    def test_registration_tracks_importability(self):
+        assert ("torch" in available_backends()) == (not _torch_missing)
+
+    @pytest.mark.skipif(_torch_missing, reason="torch not installed")
+    def test_torch_kernels_match_numpy(self):
+        rng = np.random.default_rng(60)
+        matrix = _random_csr(rng, 12, 12)
+        dense = rng.standard_normal((12, 5))
+        stack = rng.standard_normal((3, 12, 5))
+        with use_backend("numpy") as fast:
+            expected = fast.spmm(matrix, dense)
+            expected_t = fast.spmm_t(matrix, dense)
+            expected_many = fast.spmm_many(matrix, stack)
+        with use_backend("torch") as backend:
+            np.testing.assert_allclose(backend.spmm(matrix, dense), expected, atol=1e-9)
+            np.testing.assert_allclose(backend.spmm_t(matrix, dense), expected_t, atol=1e-9)
+            np.testing.assert_allclose(
+                backend.spmm_many(matrix, stack), expected_many, atol=1e-9
+            )
+
+    @pytest.mark.skipif(_torch_missing, reason="torch not installed")
+    def test_torch_end_to_end_gcn_parity(self):
+        rng = np.random.default_rng(61)
+        adjacency = _random_csr(rng, 10, 10)
+        features_data = rng.standard_normal((10, 4))
+        outputs = {}
+        for name in ("numpy", "torch"):
+            with use_backend(name):
+                layer = GCNLayer(4, 3, rng=np.random.default_rng(62))
+                out = layer(Tensor(features_data.copy()), adjacency, activation="relu")
+                outputs[name] = out.data
+        np.testing.assert_allclose(outputs["torch"], outputs["numpy"], atol=1e-9)
