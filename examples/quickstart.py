@@ -15,7 +15,8 @@ Run with::
 from __future__ import annotations
 
 from repro.core import LumosSystem, default_config_for
-from repro.eval.runner import ExperimentScale, run_epsilon_sweep
+from repro.eval.runner import ExperimentScale, run_epsilon_sweep, run_robustness_sweep
+from repro.faults import FaultScenarioConfig
 from repro.graph import load_dataset, split_nodes
 
 
@@ -73,6 +74,32 @@ def main() -> None:
     print("\n=== Parallel epsilon sweep (executor=\"process\") ===")
     for epsilon, accuracy in sweep.items():
         print(f"epsilon={epsilon:<4} test accuracy: {accuracy:.4f}")
+
+    # Federations are rarely fully reliable.  A FaultScenarioConfig compiles
+    # into a seeded per-round availability/latency schedule (repro.faults);
+    # training degrades gracefully — offline devices charge nothing, evicted
+    # or lost updates are charged but dropped, and surviving updates are
+    # reweighted — and every scenario reports its accuracy delta against the
+    # fault-free baseline.  An empty scenario is bit-identical to the
+    # fault-free path (it even shares the same cache keys).
+    robustness = run_robustness_sweep(
+        "facebook",
+        scenarios={
+            "baseline": FaultScenarioConfig(),
+            "dropout_20": FaultScenarioConfig(dropout_rate=0.20, fault_seed=11),
+            "stragglers": FaultScenarioConfig(
+                straggler_rate=0.20, straggler_multiplier=4.0,
+                round_deadline=2.5, fault_seed=14,
+            ),
+        },
+        scale=ExperimentScale(num_nodes=300, epochs=20, mcmc_iterations=150),
+    )
+    print("\n=== Robustness under unreliable federations ===")
+    for name, metrics in robustness.items():
+        print(f"{name:<12} accuracy={metrics['test_accuracy']:.4f} "
+              f"({metrics['accuracy_vs_baseline_percent']:+.1f}% vs baseline), "
+              f"participation={metrics['mean_participation']:.2f}, "
+              f"epoch time={metrics['mean_epoch_time']:.2f} s")
 
 
 if __name__ == "__main__":

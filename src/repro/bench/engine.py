@@ -93,6 +93,7 @@ TRACKED_SPEEDUPS = (
     "secure_construction",
     "epsilon_sweep",
     "parallel_sweep",
+    "robustness_sweep",
 )
 REGRESSION_TOLERANCE = 0.20
 
@@ -744,6 +745,88 @@ def bench_parallel_sweep(graph, args) -> dict:
     }
 
 
+def bench_robustness_sweep(graph, split, args) -> dict:
+    """Overhead of the fault-injection training path vs the fault-free one.
+
+    Two ``LumosItem`` executions against one warm store: the default config
+    and a hostile scenario combining dropout, churn, stragglers with a round
+    deadline, and message loss.  The scenario leaves every stage key
+    untouched, so both share the pipeline prefix and the timings isolate the
+    training loop — the tracked ``speedup`` is fault-free over faulted wall
+    clock (~1.0x; the gate trips if the fault path gets >20% slower).
+
+    Two contracts are asserted inline: an explicitly-empty scenario (even
+    with a different fault seed) is byte-for-byte the *same work item* as the
+    default config, and the hostile run is deterministic across repeats.
+    """
+    from repro.faults import FaultScenarioConfig
+    from repro.runtime import GraphSpec, LumosItem
+
+    spec = GraphSpec(dataset="facebook", seed=0, num_nodes=graph.num_nodes)
+    base = _config(args)
+    hostile = FaultScenarioConfig(
+        dropout_rate=0.15,
+        join_rate=0.30,
+        leave_rate=0.10,
+        straggler_rate=0.20,
+        straggler_multiplier=4.0,
+        round_deadline=2.5,
+        message_loss_rate=0.05,
+        fault_seed=16,
+    )
+    baseline_item = LumosItem(graph_spec=spec, config=base, task="robustness")
+    faulted_item = LumosItem(
+        graph_spec=spec, config=base.with_faults(hostile), task="robustness"
+    )
+    empty_item = LumosItem(
+        graph_spec=spec,
+        config=base.with_faults(FaultScenarioConfig(fault_seed=99)),
+        task="robustness",
+    )
+    if empty_item.key() != baseline_item.key():
+        raise AssertionError("an empty fault scenario changed the work-item key")
+
+    store = ArtifactStore()
+    baseline_payload = baseline_item.execute(store)  # warms the shared prefix
+    faulted_payload = faulted_item.execute(store)
+    if empty_item.execute(store) != baseline_payload:
+        raise AssertionError(
+            "empty fault scenario diverged from the fault-free path"
+        )
+
+    def timed(work_item, expected, label):
+        def fn() -> float:
+            start = time.perf_counter()
+            payload = work_item.execute(store)
+            elapsed = time.perf_counter() - start
+            if payload != expected:
+                raise AssertionError(f"{label} robustness run is nondeterministic")
+            return elapsed
+
+        return fn
+
+    fault_free = _best(
+        timed(baseline_item, baseline_payload, "fault-free"), args.repeat
+    )
+    faulted = _best(timed(faulted_item, faulted_payload, "faulted"), args.repeat)
+    value = faulted_payload["value"]
+    return {
+        "devices": graph.num_nodes,
+        "epochs": args.epochs,
+        "fault_free_seconds": fault_free,
+        "faulted_seconds": faulted,
+        "speedup": fault_free / faulted if faulted else float("nan"),
+        "mean_participation": value["mean_participation"],
+        "offline_device_rounds": value["offline_device_rounds"],
+        "evicted_device_rounds": value["evicted_device_rounds"],
+        "lost_update_rounds": value["lost_update_rounds"],
+        "skipped_updates": value["skipped_updates"],
+        "dropped_messages": value["dropped_messages"],
+        "accuracy_delta": value["test_accuracy"]
+        - baseline_payload["value"]["test_accuracy"],
+    }
+
+
 def check_trajectory(payload: dict, previous_path: Path) -> list:
     """Compare recorded speedups against the previous BENCH_engine.json.
 
@@ -876,6 +959,15 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
           f"{parallel['workers1_seconds']:.2f} s ({parallel['speedup']:.2f}x; "
           f"serial executor {parallel['serial_seconds']:.2f} s, "
           f"{parallel['vs_serial']:.2f}x vs serial)")
+    robustness = bench_robustness_sweep(graph, split, args)
+    print(f"[bench_engine] robustness sweep ({robustness['devices']} devices, "
+          f"{robustness['epochs']} epochs): faulted "
+          f"{robustness['faulted_seconds']:.2f} s vs fault-free "
+          f"{robustness['fault_free_seconds']:.2f} s "
+          f"({robustness['speedup']:.2f}x; participation "
+          f"{robustness['mean_participation']:.3f}, "
+          f"{robustness['dropped_messages']:.0f} dropped messages, "
+          f"accuracy delta {robustness['accuracy_delta']:+.3f})")
 
     payload = {
         "scale": {
@@ -896,6 +988,7 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
         "secure_construction": secure,
         "epsilon_sweep": sweep,
         "parallel_sweep": parallel,
+        "robustness_sweep": robustness,
     }
     if args.smoke:
         print("[bench_engine] smoke mode: skipping the JSON rewrite and the "

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..faults.config import FaultScenarioConfig
+
 #: Alg. 1 kernel selection values (defined here, on the dependency-free
 #: config leaf; :mod:`repro.core.greedy` imports them).
 GREEDY_KERNELS = ("auto", "batched", "reference")
@@ -160,6 +162,12 @@ class LumosConfig:
     #: :class:`RuntimeConfig`): two configs differing only here are the same
     #: experiment.
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Fault-injection scenario applied at training time.  Empty by default;
+    #: a non-empty scenario enters the work-item fingerprint (so cached
+    #: artifacts never mix scenarios) while the pipeline *stage* keys stay
+    #: untouched — every scenario of a sweep shares the partition /
+    #: construction / tree-batch prefix.
+    faults: FaultScenarioConfig = field(default_factory=FaultScenarioConfig)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors used heavily by the evaluation harness
@@ -213,6 +221,10 @@ class LumosConfig:
         single :class:`~repro.core.lumos.LumosSystem` computes.
         """
         return self.with_runtime(executor=executor, max_workers=max_workers)
+
+    def with_faults(self, faults: FaultScenarioConfig) -> "LumosConfig":
+        """Return a copy training under the given fault scenario."""
+        return replace(self, faults=faults)
 
 
 def default_config_for(dataset_name: str) -> LumosConfig:

@@ -77,6 +77,9 @@ class LumosSupervisedResult:
     communication_rounds_per_device: float
     simulated_epoch_time: float
     ledger_summary: Dict[str, float] = field(default_factory=dict)
+    #: Participation/degradation counters when the run trained under a
+    #: non-empty fault scenario; ``None`` on the fully-available path.
+    fault_summary: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -165,6 +168,7 @@ class LumosSystem:
                 rng=self.rng,
                 cost_model=self.cost_model,
                 batch=batch,
+                faults=self.config.faults,
             )
         return self._trainer
 
@@ -197,6 +201,7 @@ class LumosSystem:
             communication_rounds_per_device=float(profile["per_device_rounds"].mean()),
             simulated_epoch_time=trainer.simulated_epoch_time("supervised"),
             ledger_summary=self.environment.ledger.summary(self.environment.num_devices),
+            fault_summary=trainer.fault_stats if trainer.faults is not None else None,
         )
 
     def run_unsupervised(
@@ -284,6 +289,7 @@ def run_supervised_many(
                 ledger_summary=system.environment.ledger.summary(
                     system.environment.num_devices
                 ),
+                fault_summary=trainer.fault_stats if trainer.faults is not None else None,
             )
         )
     return results

@@ -30,6 +30,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..crypto.ldp import FeatureBounds
+from ..faults.config import FaultScenarioConfig
+from ..faults.plan import FaultPlan
 from ..federation.events import MessageKind
 from ..federation.simulator import FederatedEnvironment
 from ..gnn.gcn import _COMPRESS_ZERO_FRACTION, GCNLayer
@@ -591,6 +593,7 @@ class TreeBasedGNNTrainer:
         rng: Optional[np.random.Generator] = None,
         cost_model: Optional[EpochCostModel] = None,
         batch: Optional[TreeBatch] = None,
+        faults: Optional[FaultScenarioConfig] = None,
     ) -> None:
         self.environment = environment
         self.construction = construction
@@ -598,6 +601,15 @@ class TreeBasedGNNTrainer:
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng()
         self.cost_model = cost_model if cost_model is not None else EpochCostModel()
+        # An empty scenario is normalised to None so the fault-free training
+        # path is selected by a single ``is None`` check and stays
+        # bit-identical to the pre-fault implementation.
+        self.faults = faults if faults is not None and not faults.is_empty() else None
+        #: Populated by :meth:`train_supervised`; under an empty plan it
+        #: reports full participation.
+        self.fault_stats: Optional[Dict[str, float]] = None
+        self._fault_plans: Dict[int, FaultPlan] = {}
+        self._fault_charge_cache: Dict[str, tuple] = {}
 
         sample_feature = next(iter(environment.devices.values())).ego.feature
         self.feature_dim = int(sample_feature.shape[0])
@@ -725,6 +737,109 @@ class TreeBasedGNNTrainer:
         self.environment.ledger.compute_many(device_ids, costs, description="tree-gnn-epoch")
         self.environment.next_round()
 
+    # ------------------------------------------------------------------ #
+    # Fault injection (graceful degradation)
+    # ------------------------------------------------------------------ #
+    def _fault_plan(self, epochs: int) -> Optional[FaultPlan]:
+        """Compile (and cache) the fault schedule for an ``epochs``-round run."""
+        if self.faults is None:
+            return None
+        plan = self._fault_plans.get(epochs)
+        if plan is None:
+            plan = FaultPlan.compile(self.faults, self.environment.num_devices, epochs)
+            self._fault_plans[epochs] = plan
+        return plan
+
+    def _charge_epoch_faulted(self, task: str, plan: FaultPlan, epoch: int) -> None:
+        """Charge one degraded epoch: only online devices work and send.
+
+        Dropped-out devices are charged nothing.  Evicted stragglers and
+        lost updates *did* transmit, so their rounds stay in the charged
+        total; the undelivered payload is additionally logged on the
+        ledger's drop channel.
+        """
+        cached = self._fault_charge_cache.get(task)
+        if cached is None:
+            profile = self.communication_profile(task)
+            cached = (
+                profile["per_device_rounds"],
+                self._device_index(),
+                self.tree_sizes().astype(np.float64),
+            )
+            self._fault_charge_cache[task] = cached
+        per_device_rounds, device_ids, costs = cached
+        online = plan.online_mask(epoch)
+        self.environment.set_availability(online)
+        masked_rounds = per_device_rounds * online
+        total_rounds = int(masked_rounds.sum())
+        self.environment.ledger.send(
+            sender=0,
+            recipient=0,
+            kind=MessageKind.EMBEDDING_EXCHANGE,
+            size_bytes=total_rounds * self.config.output_dim * 8,
+            description=f"epoch-{task}-rounds:{total_rounds}",
+        )
+        if online.any():
+            self.environment.ledger.compute_many(
+                device_ids[online], costs[online], description="tree-gnn-epoch"
+            )
+        undelivered = online & (plan.evicted_mask(epoch) | plan.lost_mask(epoch))
+        undelivered_count = int(undelivered.sum())
+        if undelivered_count:
+            self.environment.ledger.drop(
+                sender=0,
+                recipient=0,
+                kind=MessageKind.EMBEDDING_EXCHANGE,
+                size_bytes=int(masked_rounds[undelivered].sum())
+                * self.config.output_dim
+                * 8,
+                description=f"epoch-{task}-undelivered:{undelivered_count}",
+            )
+        self.environment.next_round()
+
+    def _fault_epoch_times(self, plan: FaultPlan, task: str) -> np.ndarray:
+        """Per-round simulated epoch durations under the fault schedule.
+
+        Each round ends when the slowest *counted* device finishes: offline
+        devices do not run, and evicted stragglers are past the deadline so
+        the server stops waiting for them — which is exactly how a round
+        deadline caps straggler damage.
+        """
+        profile = self.communication_profile(task)
+        per_device = (
+            self.tree_sizes().astype(np.float64) * self.cost_model.compute_per_node
+            + profile["per_device_rounds"].astype(np.float64)
+            * self.cost_model.time_per_round
+        )
+        counted = plan.online & ~plan.evicted
+        effective = per_device[None, :] * plan.latency * counted
+        if effective.size:
+            round_max = effective.max(axis=1)
+        else:
+            round_max = np.zeros(plan.num_rounds, dtype=np.float64)
+        return self.cost_model.fixed_overhead + round_max
+
+    def _finalize_fault_stats(self, plan: Optional[FaultPlan], task: str, skipped_updates: int) -> None:
+        if plan is None:
+            self.fault_stats = {
+                "mean_participation": 1.0,
+                "offline_device_rounds": 0.0,
+                "evicted_device_rounds": 0.0,
+                "lost_update_rounds": 0.0,
+                "mean_latency_multiplier": 1.0,
+                "skipped_updates": 0.0,
+                "mean_epoch_time": self.simulated_epoch_time(task),
+            }
+            return
+        times = self._fault_epoch_times(plan, task)
+        stats = plan.summary()
+        stats["skipped_updates"] = float(skipped_updates)
+        stats["mean_epoch_time"] = (
+            float(times.mean()) if times.size else self.cost_model.fixed_overhead
+        )
+        self.fault_stats = stats
+        self.environment.set_availability(None)
+
     def _backend_context(self):
         """Context manager activating the configured trainer backend.
 
@@ -768,13 +883,41 @@ class TreeBasedGNNTrainer:
         best_predictions: Optional[np.ndarray] = None
         start = time.perf_counter()
 
+        plan = self._fault_plan(epochs)
+        device_ids = self._device_index() if plan is not None else None
+        skipped_updates = 0
+
         for epoch in range(epochs):
             model.train()
             logits = model.logits(self.batch, self._features)
-            loss = cross_entropy(logits, labels, mask=split.train_mask)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
+            if plan is None:
+                loss = cross_entropy(logits, labels, mask=split.train_mask)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                loss_value = loss.item()
+            else:
+                # Graceful degradation: only this round's participants
+                # contribute training vertices.  ``cross_entropy`` divides
+                # by the mask sum, so survivors are upweighted to keep the
+                # gradient an unbiased average over present devices
+                # (FedDropoutAvg-style participation reweighting).
+                present_vertices = np.zeros(labels.shape[0], dtype=bool)
+                present_vertices[device_ids[plan.participants(epoch)]] = True
+                round_mask = np.logical_and(split.train_mask, present_vertices)
+                if round_mask.any():
+                    loss = cross_entropy(logits, labels, mask=round_mask)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    loss_value = loss.item()
+                else:
+                    # No participant holds a training vertex this round: the
+                    # server skips the update (the forward pass still ran on
+                    # every online device).
+                    optimizer.zero_grad()
+                    loss_value = 0.0
+                    skipped_updates += 1
 
             with no_grad():
                 model.eval()
@@ -782,7 +925,7 @@ class TreeBasedGNNTrainer:
                 predictions = np.argmax(eval_logits.data, axis=1)
             train_acc = float((predictions[split.train_mask] == labels[split.train_mask]).mean())
             val_acc = float((predictions[split.val_mask] == labels[split.val_mask]).mean())
-            history.losses.append(loss.item())
+            history.losses.append(loss_value)
             history.train_accuracy.append(train_acc)
             history.val_accuracy.append(val_acc)
             if val_acc >= history.best_val_accuracy:
@@ -792,11 +935,14 @@ class TreeBasedGNNTrainer:
                 # are exactly what re-running the model on the best state
                 # would produce — keep them and skip the final forward pass.
                 best_predictions = predictions
-            self._charge_epoch("supervised")
+            if plan is None:
+                self._charge_epoch("supervised")
+            else:
+                self._charge_epoch_faulted("supervised", plan, epoch)
             if log_every and (epoch + 1) % log_every == 0:
                 print(
                     f"[lumos supervised] epoch {epoch + 1}/{epochs} "
-                    f"loss={loss.item():.4f} val_acc={val_acc:.4f}"
+                    f"loss={loss_value:.4f} val_acc={val_acc:.4f}"
                 )
 
         if best_state is not None:
@@ -812,6 +958,7 @@ class TreeBasedGNNTrainer:
             (final_predictions[split.test_mask] == labels[split.test_mask]).mean()
         )
         history.wall_clock_seconds = time.perf_counter() - start
+        self._finalize_fault_stats(plan, "supervised", skipped_updates)
         return model, history
 
     # ------------------------------------------------------------------ #
@@ -824,6 +971,11 @@ class TreeBasedGNNTrainer:
         log_every: int = 0,
     ) -> Tuple[LumosModel, UnsupervisedHistory]:
         """Train with the link-prediction objective of Eq. 33."""
+        if self.faults is not None:
+            raise ValueError(
+                "fault injection currently supports the supervised task only; "
+                "train_unsupervised requires an empty fault scenario"
+            )
         with self._backend_context():
             return self._train_unsupervised_impl(edge_split, epochs, log_every)
 
@@ -975,6 +1127,10 @@ def train_supervised_many(
 def _can_batch_supervised(trainers: Sequence[TreeBasedGNNTrainer]) -> bool:
     """Whether the stacked training kernel applies to these trainers."""
     if len(trainers) < 2:
+        return False
+    # Fault-injected trainers take the per-epoch degradation path, which the
+    # stacked kernel does not model — fall back to the sequential loop.
+    if any(trainer.faults is not None for trainer in trainers):
         return False
     first = trainers[0].config
     for trainer in trainers[1:]:

@@ -284,6 +284,56 @@ def figure8(
 
 
 # --------------------------------------------------------------------------- #
+# Robustness — accuracy and system cost under unreliable federations
+# --------------------------------------------------------------------------- #
+def figure_robustness(
+    scale: runner.ExperimentScale = runner.ExperimentScale(),
+    datasets: tuple = ("facebook",),
+    verbose: bool = True,
+    executor: runner.ExecutorArg = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Lumos under fault scenarios: accuracy, participation and epoch time.
+
+    Not a figure of the paper (its evaluation assumes full availability) —
+    this is the robustness extension's figure family: every scenario of
+    :func:`repro.faults.default_robustness_scenarios` as one arm, reported
+    against the fault-free baseline.
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for dataset in datasets:
+        sweep = runner.run_robustness_sweep(dataset, scale=scale, executor=executor)
+        results[dataset] = sweep
+        if verbose:
+            print(f"\n[Robustness] Lumos under unreliable federations — {dataset}")
+            rows = [
+                [
+                    name,
+                    entry["test_accuracy"],
+                    entry["accuracy_vs_baseline_percent"],
+                    entry["mean_participation"],
+                    entry["mean_epoch_time"],
+                    entry["dropped_messages"],
+                ]
+                for name, entry in sweep.items()
+            ]
+            print(
+                format_table(
+                    [
+                        "scenario",
+                        "accuracy",
+                        "vs baseline %",
+                        "participation",
+                        "epoch time",
+                        "dropped msgs",
+                    ],
+                    rows,
+                    float_format="{:.3f}",
+                )
+            )
+    return results
+
+
+# --------------------------------------------------------------------------- #
 # Headline claims (abstract)
 # --------------------------------------------------------------------------- #
 def headline_summary(
@@ -314,6 +364,7 @@ FIGURES = {
     "fig6": figure6,
     "fig7": figure7,
     "fig8": figure8,
+    "robustness": figure_robustness,
     "headline": headline_summary,
 }
 

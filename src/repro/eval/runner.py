@@ -42,12 +42,14 @@ from ..baselines import (
 from ..core import LumosSystem, default_config_for
 from ..core.config import LumosConfig, RuntimeConfig
 from ..engine import ArtifactStore, default_store
+from ..faults import FaultScenarioConfig, default_robustness_scenarios
 from ..graph import Graph, load_dataset, split_edges, split_nodes
 from ..runtime import (
     BaselineItem,
     Executor,
     GraphSpec,
     LumosItem,
+    SerialExecutor,
     WorkPlan,
     resolve_executor,
 )
@@ -343,6 +345,72 @@ def run_ablation(
         else:
             edge_split = split_edges(graph, seed=scale.seed)
             results[name] = system.run_unsupervised(edge_split).test_auc
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Robustness — accuracy/system metrics under unreliable federations
+# --------------------------------------------------------------------------- #
+def run_robustness_sweep(
+    dataset: str,
+    scenarios: Optional[Dict[str, FaultScenarioConfig]] = None,
+    backbone: str = "gcn",
+    scale: ExperimentScale = ExperimentScale(),
+    store: Optional[ArtifactStore] = None,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Supervised Lumos metrics per fault scenario, relative to a baseline.
+
+    Each scenario is one ablation arm: the same dataset/config trained under
+    a different :class:`~repro.faults.FaultScenarioConfig`.  Scenarios only
+    engage at training time, so every arm shares the full pipeline prefix
+    (partition, construction, LDP init, tree batch) through the store; the
+    per-arm work-item keys differ by the scenario fingerprint, so cached
+    training results never mix scenarios.  A fault-free ``baseline`` arm is
+    added when the grid lacks one, and every arm reports its accuracy delta
+    vs that baseline (``accuracy_vs_baseline_percent``).
+
+    Both the serial path and ``executor="process"`` run the same work plan —
+    serially inline or across the worker pool — and are bit-for-bit
+    identical (the robustness chapter of the runtime determinism contract).
+    """
+    scenarios = (
+        dict(scenarios) if scenarios is not None else default_robustness_scenarios()
+    )
+    if not any(config.is_empty() for config in scenarios.values()):
+        scenarios = {"baseline": FaultScenarioConfig(), **scenarios}
+    plan = WorkPlan()
+    keys = {
+        name: plan.add(
+            _lumos_item(
+                dataset,
+                scale,
+                "robustness",
+                _lumos_config(dataset, scale, backbone).with_faults(config),
+                label=f"robustness/{dataset}/{name}",
+            )
+        )
+        for name, config in scenarios.items()
+    }
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is None:
+        # The serial path executes the identical plan inline so both paths
+        # share one code path per item (and the plan's dedupe: two empty
+        # scenarios collapse to one execution).
+        resolved = SerialExecutor(store=store if store is not None else default_store())
+    report = resolved.execute(plan)
+    results = {
+        name: dict(report.records[key].value) for name, key in keys.items()
+    }
+    baseline_name = next(
+        name for name, config in scenarios.items() if config.is_empty()
+    )
+    baseline_accuracy = results[baseline_name]["test_accuracy"]
+    for entry in results.values():
+        entry["accuracy_vs_baseline_percent"] = relative_change(
+            baseline_accuracy, entry["test_accuracy"]
+        )
     return results
 
 

@@ -1,0 +1,18 @@
+"""Deterministic fault injection for unreliable federations.
+
+The package is deliberately dependency-light: ``config`` and ``plan`` import
+only the standard library and numpy so that ``repro.core.config`` can depend
+on :class:`FaultScenarioConfig` without creating an import cycle through the
+staged engine.
+"""
+
+from .config import FaultScenarioConfig
+from .plan import FaultPlan, schedule_digest
+from .scenarios import default_robustness_scenarios
+
+__all__ = [
+    "FaultScenarioConfig",
+    "FaultPlan",
+    "schedule_digest",
+    "default_robustness_scenarios",
+]

@@ -1,0 +1,40 @@
+"""Named scenario grids for robustness sweeps.
+
+The default grid spans the four fault mechanisms individually plus one
+combined "hostile" arm, always anchored by a fault-free baseline so sweep
+reports can express every metric as a delta vs full availability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .config import FaultScenarioConfig
+
+__all__ = ["default_robustness_scenarios"]
+
+
+def default_robustness_scenarios() -> Dict[str, FaultScenarioConfig]:
+    return {
+        "baseline": FaultScenarioConfig(),
+        "dropout_10": FaultScenarioConfig(dropout_rate=0.10, fault_seed=11),
+        "dropout_30": FaultScenarioConfig(dropout_rate=0.30, fault_seed=12),
+        "churn": FaultScenarioConfig(join_rate=0.30, leave_rate=0.10, fault_seed=13),
+        "stragglers": FaultScenarioConfig(
+            straggler_rate=0.20,
+            straggler_multiplier=4.0,
+            round_deadline=2.5,
+            fault_seed=14,
+        ),
+        "lossy": FaultScenarioConfig(message_loss_rate=0.05, fault_seed=15),
+        "hostile": FaultScenarioConfig(
+            dropout_rate=0.15,
+            join_rate=0.30,
+            leave_rate=0.10,
+            straggler_rate=0.20,
+            straggler_multiplier=4.0,
+            round_deadline=2.5,
+            message_loss_rate=0.05,
+            fault_seed=16,
+        ),
+    }

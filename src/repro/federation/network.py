@@ -44,6 +44,11 @@ class CommunicationLedger:
     compute_events: List[ComputeEvent] = field(default_factory=list)
     bulk_compute_events: List[BulkComputeEvent] = field(default_factory=list)
     bulk_message_events: List[BulkMessageEvent] = field(default_factory=list)
+    #: Messages that never reached their recipient (offline endpoint, lost
+    #: in transit, or evicted past the round deadline).  Kept out of
+    #: ``messages`` so every existing traffic summary and the canonical
+    #: :meth:`message_records` transcript are untouched by fault injection.
+    dropped: List[Message] = field(default_factory=list)
     current_round: int = 0
 
     # ------------------------------------------------------------------ #
@@ -97,6 +102,32 @@ class CommunicationLedger:
         self.bulk_message_events.append(event)
         return event
 
+    def drop(
+        self,
+        sender: int,
+        recipient: int,
+        kind: MessageKind,
+        size_bytes: int,
+        description: str = "",
+    ) -> Message:
+        """Record a message that never reached its recipient.
+
+        Whether the sender's bandwidth was also charged is the caller's
+        decision: a suppressed send (offline sender) records *only* a drop,
+        while an undelivered send (offline recipient, loss in transit,
+        deadline eviction) pairs a normal :meth:`send` with a drop record.
+        """
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            size_bytes=int(size_bytes),
+            round_index=self.current_round,
+            description=description,
+        )
+        self.dropped.append(message)
+        return message
+
     def compute(self, device: int, cost: float, description: str = "") -> ComputeEvent:
         """Record ``cost`` units of local computation on ``device``."""
         event = ComputeEvent(
@@ -135,6 +166,7 @@ class CommunicationLedger:
         self.compute_events.clear()
         self.bulk_compute_events.clear()
         self.bulk_message_events.clear()
+        self.dropped.clear()
         self.current_round = 0
 
     # ------------------------------------------------------------------ #
@@ -163,6 +195,14 @@ class CommunicationLedger:
             for event in self.bulk_message_events
             if wanted is None or event.kind in wanted
         )
+
+    def total_dropped_messages(self) -> int:
+        """Number of messages that never reached their recipient."""
+        return len(self.dropped)
+
+    def total_dropped_bytes(self) -> int:
+        """Undelivered payload bytes (see :meth:`drop` for charging rules)."""
+        return sum(message.size_bytes for message in self.dropped)
 
     def device_to_device_messages(self) -> int:
         """Messages where neither endpoint is the server."""
@@ -312,6 +352,11 @@ class CommunicationLedger:
         }
         if num_devices:
             result["avg_messages_per_device"] = result["device_to_device_messages"] / num_devices
+        # Drop counters appear only when something was actually dropped, so
+        # fault-free summaries stay byte-identical to the pre-fault layout.
+        if self.dropped:
+            result["dropped_messages"] = float(self.total_dropped_messages())
+            result["dropped_bytes"] = float(self.total_dropped_bytes())
         by_kind: Dict[str, int] = defaultdict(int)
         for message in self.messages:
             by_kind[message.kind.value] += 1

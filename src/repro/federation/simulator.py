@@ -41,6 +41,15 @@ class FederatedEnvironment:
     _adjacency_csr_cache: Optional[tuple] = field(
         default=None, repr=False, compare=False
     )
+    #: Current-round availability, aligned to ``sorted(device_ids)``.
+    #: ``None`` (the default) means fully available — the fault-free fast
+    #: path through :meth:`exchange` is a single ``is None`` check.
+    _availability: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
+    _sorted_ids_cache: Optional[np.ndarray] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -142,6 +151,42 @@ class FederatedEnvironment:
         return self._adjacency_csr_cache
 
     # ------------------------------------------------------------------ #
+    # Availability (fault injection)
+    # ------------------------------------------------------------------ #
+    def set_availability(self, mask: Optional[np.ndarray]) -> None:
+        """Install the current round's availability mask (or clear it).
+
+        ``mask`` is boolean, aligned to ``sorted(device_ids)`` — the same
+        positional convention as the trainer's device index and
+        :class:`repro.faults.plan.FaultPlan` rows.  ``None`` restores full
+        availability; the server is always available.
+        """
+        if mask is None:
+            self._availability = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_devices,):
+            raise ValueError(
+                f"availability mask must have shape ({self.num_devices},), "
+                f"got {mask.shape}"
+            )
+        self._availability = mask.copy()
+
+    def is_available(self, party_id: int) -> bool:
+        """Whether ``party_id`` participates in the current round."""
+        if self._availability is None or party_id == SERVER_ID:
+            return True
+        if self._sorted_ids_cache is None or self._sorted_ids_cache.shape[0] != self.num_devices:
+            self._sorted_ids_cache = np.asarray(self.device_ids(), dtype=np.int64)
+        position = int(np.searchsorted(self._sorted_ids_cache, party_id))
+        if (
+            position >= self._sorted_ids_cache.shape[0]
+            or self._sorted_ids_cache[position] != party_id
+        ):
+            raise KeyError(f"unknown device {party_id}")
+        return bool(self._availability[position])
+
+    # ------------------------------------------------------------------ #
     # Communication and compute accounting
     # ------------------------------------------------------------------ #
     def exchange(
@@ -152,11 +197,26 @@ class FederatedEnvironment:
         size_bytes: int,
         description: str = "",
     ) -> None:
-        """Record a device-to-device (or device-server) message."""
+        """Record a device-to-device (or device-server) message.
+
+        Under an availability mask, a message from an offline sender is
+        suppressed — nothing is transmitted or charged, only a drop record
+        is kept — while a message to an offline recipient is transmitted
+        (the sender cannot know) and therefore charged normally *plus*
+        logged as undelivered.
+        """
         if sender != SERVER_ID and sender not in self.devices:
             raise KeyError(f"unknown sender device {sender}")
         if recipient != SERVER_ID and recipient not in self.devices:
             raise KeyError(f"unknown recipient device {recipient}")
+        if self._availability is not None:
+            if not self.is_available(sender):
+                self.ledger.drop(sender, recipient, kind, size_bytes, description)
+                return
+            if not self.is_available(recipient):
+                self.ledger.send(sender, recipient, kind, size_bytes, description)
+                self.ledger.drop(sender, recipient, kind, size_bytes, description)
+                return
         self.ledger.send(sender, recipient, kind, size_bytes, description)
 
     def charge_compute(self, device_id: int, cost: float, description: str = "") -> None:

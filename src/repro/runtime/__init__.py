@@ -16,13 +16,16 @@ serial path.  ``docs/architecture.md`` §8 describes the contracts.
 """
 
 from .executor import (
+    DEFAULT_BACKOFF_BASE,
     DEFAULT_STORE_BYTES,
     Executor,
+    FailedAttempt,
     ItemRecord,
     ProcessExecutor,
     RuntimeReport,
     SerialExecutor,
     WorkItemFailure,
+    backoff_delay,
     resolve_executor,
 )
 from .items import (
@@ -34,12 +37,16 @@ from .items import (
     execute_item,
 )
 from .plan import WarmupRun, WorkPlan, shared_prefix_plan
+from .worker import ChaosConfig, chaos_action
 
 __all__ = [
     "BaselineItem",
     "CallableItem",
+    "ChaosConfig",
+    "DEFAULT_BACKOFF_BASE",
     "DEFAULT_STORE_BYTES",
     "Executor",
+    "FailedAttempt",
     "GraphSpec",
     "ItemRecord",
     "LumosItem",
@@ -50,6 +57,8 @@ __all__ = [
     "WorkItem",
     "WorkItemFailure",
     "WorkPlan",
+    "backoff_delay",
+    "chaos_action",
     "execute_item",
     "resolve_executor",
     "shared_prefix_plan",

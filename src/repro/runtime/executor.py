@@ -27,6 +27,7 @@ computed it.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import pickle
@@ -42,13 +43,48 @@ from ..core.config import RuntimeConfig
 from ..engine.store import ArtifactStore
 from .items import WorkItem, execute_item
 from .plan import WorkPlan, shared_prefix_plan
-from .worker import DONE, open_worker_store, result_key, worker_main
+from .worker import DONE, ChaosConfig, open_worker_store, result_key, worker_main
 
 #: Default byte budget of the shared spill store (scheduler and workers).
 DEFAULT_STORE_BYTES = 256 * 1024 * 1024
 
 #: How often the scheduler polls the result queue / worker liveness.
 _POLL_SECONDS = 0.05
+
+#: Default base of the exponential retry backoff (seconds).
+DEFAULT_BACKOFF_BASE = 0.05
+
+
+def backoff_delay(seed: int, item_key: str, attempt: int, base: float) -> float:
+    """Exponential backoff with deterministic seeded jitter.
+
+    ``base * 2**(attempt-1)`` scaled by a jitter factor in ``[0.5, 1.5)``
+    derived from ``(seed, item_key, attempt)`` — a pure function, so two
+    schedulers replaying the same failures wait the same amount and the
+    recorded ``backoff_seconds`` stat is reproducible.
+    """
+    if base <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(
+        f"backoff/{seed}/{attempt}/{item_key}".encode("utf-8")
+    ).digest()
+    jitter = 0.5 + int.from_bytes(digest[:8], "little") / 2.0**64
+    return base * (2.0 ** max(attempt - 1, 0)) * jitter
+
+
+@dataclass(frozen=True)
+class FailedAttempt:
+    """Provenance of one failed dispatch of a work item.
+
+    ``kind`` is ``"crash"`` (worker died), ``"timeout"`` (deadline kill),
+    ``"missing-result"`` (acknowledged but payload unreadable) or
+    ``"error"`` (deterministic in-worker exception).
+    """
+
+    attempt: int
+    worker: Optional[int]
+    kind: str
+    reason: str
 
 
 @dataclass
@@ -88,10 +124,13 @@ class ItemRecord:
 @dataclass
 class RuntimeReport:
     """Everything an execution produced: records per item key, failures per
-    item key (reason strings), and scheduler statistics."""
+    item key (reason strings), per-attempt failure provenance (for every
+    item that failed at least one attempt — including items that later
+    succeeded on retry), and scheduler statistics."""
 
     records: Dict[str, ItemRecord] = field(default_factory=dict)
     failures: Dict[str, str] = field(default_factory=dict)
+    failure_attempts: Dict[str, Tuple[FailedAttempt, ...]] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
 
     def value(self, key: str) -> Any:
@@ -99,15 +138,31 @@ class RuntimeReport:
 
 
 class WorkItemFailure(RuntimeError):
-    """Raised by a strict executor when items failed after all retries."""
+    """Raised by a strict executor when items failed after all retries.
+
+    ``failures`` keeps the final reason string per key (the stable surface
+    existing callers match on); ``failure_attempts`` adds the per-attempt
+    provenance — which worker, which attempt, crash vs timeout vs error.
+    """
 
     def __init__(self, failures: Dict[str, str], report: "RuntimeReport") -> None:
         self.failures = failures
         self.report = report
-        summary = "; ".join(
-            f"{key.split('/', 2)[-1][:60]}: {reason.strip().splitlines()[-1]}"
-            for key, reason in failures.items()
-        )
+        self.failure_attempts = report.failure_attempts
+        parts = []
+        for key, reason in failures.items():
+            entry = f"{key.split('/', 2)[-1][:60]}: {reason.strip().splitlines()[-1]}"
+            history = report.failure_attempts.get(key, ())
+            if history:
+                trail = ", ".join(
+                    f"attempt {record.attempt}"
+                    + (f" on worker {record.worker}" if record.worker is not None else "")
+                    + f": {record.kind}"
+                    for record in history
+                )
+                entry += f" [{trail}]"
+            parts.append(entry)
+        summary = "; ".join(parts)
         super().__init__(f"{len(failures)} work item(s) failed: {summary}")
 
 
@@ -153,6 +208,14 @@ class ProcessExecutor(Executor):
     shared artifact directory (default: a temporary directory per
     ``execute`` call, removed afterwards); ``strict`` raises
     :class:`WorkItemFailure` when any item remains failed.
+
+    Retries are re-dispatched after an exponential backoff with
+    deterministic seeded jitter (:func:`backoff_delay`, disable with
+    ``backoff_base=0``); the accumulated wait is reported as
+    ``backoff_seconds`` in the runtime stats.  ``chaos`` installs a seeded
+    :class:`~repro.runtime.worker.ChaosConfig` fault schedule in every
+    worker — test-only machinery for proving the crash/timeout/retry path
+    preserves the determinism contract.
     """
 
     def __init__(
@@ -164,11 +227,16 @@ class ProcessExecutor(Executor):
         store_bytes: int = DEFAULT_STORE_BYTES,
         strict: bool = True,
         start_method: Optional[str] = None,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_seed: int = 0,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
         self.max_workers = max_workers
         self.retries = retries
         self.timeout = timeout
@@ -176,6 +244,9 @@ class ProcessExecutor(Executor):
         self.store_bytes = store_bytes
         self.strict = strict
         self.start_method = start_method
+        self.backoff_base = backoff_base
+        self.backoff_seed = backoff_seed
+        self.chaos = chaos
 
     @classmethod
     def from_config(cls, config: RuntimeConfig, **overrides) -> "ProcessExecutor":
@@ -200,6 +271,7 @@ class ProcessExecutor(Executor):
                 "crashes": 0,
                 "timeouts": 0,
                 "retries_used": 0,
+                "backoff_seconds": 0.0,
             }
         )
         if not items:
@@ -270,7 +342,10 @@ class ProcessExecutor(Executor):
         # worker is running now.
         inflight: Dict[int, Tuple[int, WorkItem, float, float]] = {}
         attempts: Dict[str, int] = {}
+        attempt_failures: Dict[str, List[FailedAttempt]] = {}
         pending = deque(items)
+        # Items waiting out their retry backoff: (monotonic ready time, item).
+        deferred: List[Tuple[float, WorkItem]] = []
         done_keys: set = set()
         respawns = 0
         next_ticket = 0
@@ -281,7 +356,7 @@ class ProcessExecutor(Executor):
             process = context.Process(
                 target=worker_main,
                 args=(worker_id, task_queues[worker_id], result_queue,
-                      directory, self.store_bytes),
+                      directory, self.store_bytes, self.chaos),
                 daemon=True,
             )
             process.start()
@@ -295,16 +370,28 @@ class ProcessExecutor(Executor):
             timeout = item.timeout if item.timeout is not None else self.timeout
             deadline = time.monotonic() + timeout if timeout is not None else float("inf")
             next_ticket += 1
-            task_queues[worker_id].put((next_ticket, item))
+            task_queues[worker_id].put((next_ticket, item, attempts[key]))
             inflight[worker_id] = (next_ticket, item, time.perf_counter(), deadline)
 
-        def give_up_or_retry(item: WorkItem, reason: str) -> None:
+        def give_up_or_retry(
+            item: WorkItem, kind: str, reason: str, worker_id: Optional[int]
+        ) -> None:
             key = item.key()
-            if attempts.get(key, 0) <= self.retries:
+            attempt = attempts.get(key, 0)
+            attempt_failures.setdefault(key, []).append(
+                FailedAttempt(attempt=attempt, worker=worker_id, kind=kind, reason=reason)
+            )
+            if attempt <= self.retries:
                 report.stats["retries_used"] += 1
-                pending.appendleft(item)
+                delay = backoff_delay(self.backoff_seed, key, attempt, self.backoff_base)
+                if delay > 0.0:
+                    report.stats["backoff_seconds"] += delay
+                    deferred.append((time.monotonic() + delay, item))
+                else:
+                    pending.appendleft(item)
             else:
                 report.failures[key] = reason
+                report.failure_attempts[key] = tuple(attempt_failures[key])
 
         def reap(worker_id: int, kill: bool) -> None:
             process = workers.pop(worker_id)
@@ -318,6 +405,17 @@ class ProcessExecutor(Executor):
 
         try:
             while len(done_keys) + len(report.failures) < len(items):
+                # Promote items whose retry backoff has elapsed.
+                if deferred:
+                    now_monotonic = time.monotonic()
+                    still_waiting = []
+                    for ready_at, deferred_item in deferred:
+                        if ready_at <= now_monotonic:
+                            pending.append(deferred_item)
+                        else:
+                            still_waiting.append((ready_at, deferred_item))
+                    deferred[:] = still_waiting
+
                 # Keep every idle worker busy.  The liveness pre-check
                 # avoids feeding a corpse (which would burn one of the
                 # item's retry attempts on a death that predates it); a
@@ -357,9 +455,20 @@ class ProcessExecutor(Executor):
                             # The worker acknowledged but the payload never
                             # became readable — treat like a crash.
                             report.stats["crashes"] += 1
-                            give_up_or_retry(item, "result payload missing from store")
+                            give_up_or_retry(
+                                item,
+                                "missing-result",
+                                "result payload missing from store",
+                                worker_id,
+                            )
                         else:
                             done_keys.add(key)
+                            if key in attempt_failures:
+                                # Keep the provenance of the failed attempts
+                                # that preceded this success.
+                                report.failure_attempts[key] = tuple(
+                                    attempt_failures[key]
+                                )
                             report.records[key] = ItemRecord.from_payload(
                                 item,
                                 artifact.value,
@@ -369,6 +478,15 @@ class ProcessExecutor(Executor):
                             )
                     else:  # FAIL: deterministic in-worker exception
                         report.failures[key] = detail
+                        attempt_failures.setdefault(key, []).append(
+                            FailedAttempt(
+                                attempt=attempts.get(key, 0),
+                                worker=worker_id,
+                                kind="error",
+                                reason=detail,
+                            )
+                        )
+                        report.failure_attempts[key] = tuple(attempt_failures[key])
                     continue
 
                 # Liveness and deadlines.
@@ -384,8 +502,10 @@ class ProcessExecutor(Executor):
                             report.stats["crashes"] += 1
                             give_up_or_retry(
                                 item,
+                                "crash",
                                 f"worker process died (exit code {process.exitcode}) "
                                 f"while running {item.label or item.key()}",
+                                worker_id,
                             )
                     elif entry is not None and now > entry[3]:
                         item = entry[1]
@@ -394,10 +514,12 @@ class ProcessExecutor(Executor):
                         report.stats["timeouts"] += 1
                         give_up_or_retry(
                             item,
+                            "timeout",
                             f"work item exceeded its {item.timeout or self.timeout}s "
                             f"timeout: {item.label or item.key()}",
+                            worker_id,
                         )
-                    if worker_id not in workers and (pending or inflight):
+                    if worker_id not in workers and (pending or inflight or deferred):
                         if respawns >= max_respawns:
                             raise RuntimeError(
                                 "worker pool unstable: "

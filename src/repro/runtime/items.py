@@ -35,7 +35,7 @@ from ..graph import load_dataset, split_edges, split_nodes
 from ..graph.graph import Graph
 
 #: Tasks a :class:`LumosItem` knows how to run.
-LUMOS_TASKS = ("supervised", "unsupervised", "workload", "system_cost")
+LUMOS_TASKS = ("supervised", "unsupervised", "workload", "system_cost", "robustness")
 
 #: Baseline methods a :class:`BaselineItem` knows how to train, per task.
 BASELINE_METHODS = {
@@ -175,7 +175,7 @@ class LumosItem(WorkItem):
             raise ValueError(f"task must be one of {LUMOS_TASKS}, got {self.task!r}")
 
     def key(self) -> str:
-        return stage_key(
+        parts = [
             "lumos",
             self.graph_spec.fingerprint(),
             fingerprint_value(self.config.constructor),
@@ -184,7 +184,14 @@ class LumosItem(WorkItem):
             f"task={self.task}",
             f"split={self.split_seed}",
             f"transcript={self.keep_transcript}",
-        )
+        ]
+        # The fault scenario enters the fingerprint only when it can perturb
+        # the run: the component is omitted for empty scenarios so the
+        # fault-free key reproduces the pre-fault cache keys byte-for-byte,
+        # while distinct non-empty scenarios never share cached results.
+        if not self.config.faults.is_empty():
+            parts.append(f"faults={fingerprint_value(self.config.faults)}")
+        return stage_key(*parts)
 
     def stage_chain(self) -> Tuple[Tuple[str, str], ...]:
         from ..core.lumos import normalized_graph
@@ -210,6 +217,30 @@ class LumosItem(WorkItem):
         elif self.task == "unsupervised":
             edge_split = split_edges(graph, seed=self.split_seed)
             value = system.run_unsupervised(edge_split).test_auc
+        elif self.task == "robustness":
+            split = split_nodes(graph, seed=self.split_seed)
+            result = system.run_supervised(split)
+            trainer = system.trainer()
+            stats = trainer.fault_stats or {}
+            value = {
+                "test_accuracy": result.test_accuracy,
+                "best_val_accuracy": result.best_val_accuracy,
+                "rounds_per_device": result.communication_rounds_per_device,
+                "mean_epoch_time": stats.get(
+                    "mean_epoch_time", result.simulated_epoch_time
+                ),
+                "mean_participation": stats.get("mean_participation", 1.0),
+                "offline_device_rounds": stats.get("offline_device_rounds", 0.0),
+                "evicted_device_rounds": stats.get("evicted_device_rounds", 0.0),
+                "lost_update_rounds": stats.get("lost_update_rounds", 0.0),
+                "skipped_updates": stats.get("skipped_updates", 0.0),
+                "dropped_messages": float(
+                    system.environment.ledger.total_dropped_messages()
+                ),
+                "dropped_bytes": float(
+                    system.environment.ledger.total_dropped_bytes()
+                ),
+            }
         elif self.task == "workload":
             value = system.workload_distribution()
         else:  # system_cost

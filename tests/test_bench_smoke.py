@@ -47,6 +47,7 @@ def test_tracked_speedups_include_all_perf_sections():
         "secure_construction",
         "epsilon_sweep",
         "parallel_sweep",
+        "robustness_sweep",
     }
 
 
