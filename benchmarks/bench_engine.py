@@ -19,6 +19,7 @@ from repro.bench.engine import (  # noqa: E402,F401  (re-exported for tests)
     TRACKED_SPEEDUPS,
     bench_parallel_sweep,
     bench_secure_construction,
+    bench_tree_maintenance,
     check_trajectory,
     main as _main,
 )

@@ -29,6 +29,11 @@ any previously recorded speedup fails the run):
   emulation of the pre-refactor "seed" path (reference kernels, no artifact
   reuse, generic batch assembly, per-epoch communication-profile
   recomputation);
+* **tree maintenance** — steady-state journalled delta updates (remove +
+  reinsert cycles, write-ahead journal with fsync) on a maintained tree at
+  10^4 devices vs one from-scratch reconstruction, with the crash-safety
+  contract asserted inline: a forked child is killed mid-journal-append and
+  the recovered run's state digest must match an uninterrupted run's;
 * **the parallel sweep scheduler** — the same 5-point sweep through
   ``repro.runtime``'s process pool at 1 vs ``--workers`` workers (and vs the
   serial executor), with the merged metrics asserted identical across all
@@ -40,6 +45,7 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--nodes 300]
         [--epochs 50] [--mcmc 1000] [--repeat 2] [--workers 4] [--smoke]
+        [--only section[,section...]]
 
 (or, once installed, ``repro-bench`` — which writes ``BENCH_engine.json``
 to the current directory unless ``--output`` says otherwise).
@@ -94,6 +100,7 @@ TRACKED_SPEEDUPS = (
     "epsilon_sweep",
     "parallel_sweep",
     "robustness_sweep",
+    "tree_maintenance",
 )
 REGRESSION_TOLERANCE = 0.20
 
@@ -827,6 +834,179 @@ def bench_robustness_sweep(graph, split, args) -> dict:
     }
 
 
+def bench_tree_maintenance(graph, args) -> dict:
+    """Steady-state journalled delta maintenance vs from-scratch rebuild.
+
+    Three measurements plus one asserted contract:
+
+    * **steady-state update rate** — timed remove+insert cycles on a
+      journalled ``MaintainedTree`` at 10^4 devices (the graph is rebuilt at
+      that scale unless ``--smoke``); every cycle is two write-ahead-
+      journalled mutations including the fsync, i.e. the real maintenance
+      path, not an in-memory approximation.  The tracked ``speedup`` is one
+      full reconstruction's wall clock over the per-delta cost — how many
+      journalled updates one rebuild buys.
+    * **rebuild wall clock** — ``fresh_assignment`` over the maintained
+      adjacency at the maintenance layer's rebuild MCMC budget.
+    * **staleness** — maintained vs rebuilt objective after the churn batch,
+      the quantity the ``StalenessMonitor`` bounds in production.
+    * **kill-replay contract** — a forked child runs a churn schedule with a
+      ``ChaosConfig`` that ``os._exit``s it mid-journal-append (torn tail on
+      disk, exit code 86); the parent recovers the journal, resumes the
+      schedule at the recovered ``seq``, and the final state digest must
+      equal an uninterrupted run's bit for bit.  Asserted at a small scale
+      on every bench run so the crash-safety story cannot rot between PRs.
+    """
+    import multiprocessing
+    import tempfile
+
+    from repro.engine.store import DiskSpillStore
+    from repro.faults import FaultScenarioConfig
+    from repro.faults.plan import FaultPlan
+    from repro.maintenance import (
+        MaintainedTree,
+        MaintenanceConfig,
+        MutationJournal,
+        compile_churn_schedule,
+        first_crash_seq,
+        fresh_assignment,
+        resume_schedule,
+        run_schedule,
+    )
+    from repro.maintenance.churn import _constructed_tree
+    from repro.runtime.worker import ChaosConfig
+
+    smoke = bool(getattr(args, "smoke", False))
+    devices = graph.num_nodes if smoke else max(args.nodes, 10_000)
+    construction_iterations = min(args.mcmc, 200)
+    lists, ego, num_devices = _constructed_tree(
+        "facebook", devices, 0, construction_iterations
+    )
+    config = MaintenanceConfig(seed=0)
+    cycles = 20 if smoke else 200  # one cycle = remove + reinsert (2 mutations)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-maintenance-") as tmp:
+        journal = MutationJournal.create(Path(tmp) / "journal.lmj")
+        snapshots = DiskSpillStore(
+            Path(tmp) / "snapshots", max_bytes=256 * 1024 * 1024
+        )
+        tree = MaintainedTree.from_construction(
+            lists, ego, config, journal=journal, snapshots=snapshots
+        )
+        rng = np.random.default_rng(0)
+        candidates = [d for d in tree.present() if ego[d]]
+        sample = [
+            int(d)
+            for d in rng.choice(
+                candidates, size=min(cycles, len(candidates)), replace=False
+            )
+        ]
+        mutations = 2 * len(sample)
+
+        def churn_batch() -> float:
+            # Each cycle leaves membership unchanged, so repeats time the
+            # same workload on a live (not pristine) tree — the steady state.
+            start = time.perf_counter()
+            for device in sample:
+                tree.remove_device(device)
+                tree.insert_device(device, ego[device])
+            return time.perf_counter() - start
+
+        def rebuild() -> float:
+            start = time.perf_counter()
+            rebuild.assignment, _ = fresh_assignment(
+                tree.neighbors, config.rebuild_mcmc_iterations, seed=0
+            )
+            return time.perf_counter() - start
+
+        update_seconds = _best(churn_batch, args.repeat)
+        rebuild_seconds = _best(rebuild, args.repeat)
+        maintained_objective = tree.objective()
+        rebuilt_objective = max(
+            (len(v) for v in rebuild.assignment.values()), default=0
+        )
+        journal.close()
+    per_update = update_seconds / mutations if mutations else float("nan")
+
+    # Kill-replay contract (small scale — the digest equality is scale-free).
+    kr = dict(
+        dataset="facebook",
+        num_nodes=min(graph.num_nodes, 200),
+        seed=0,
+        scenario=FaultScenarioConfig(join_rate=0.30, leave_rate=0.10, fault_seed=13),
+        rounds=6,
+        mcmc_iterations=min(args.mcmc, 40),
+        rebalance_every=4,
+    )
+    _, kr_ego, kr_devices = _constructed_tree(
+        kr["dataset"], kr["num_nodes"], kr["seed"], kr["mcmc_iterations"]
+    )
+    plan = FaultPlan.compile(kr["scenario"], kr_devices, kr["rounds"])
+    schedule = compile_churn_schedule(
+        plan, kr_ego, rebalance_every=kr["rebalance_every"]
+    )
+    chaos = crash_seq = None
+    for chaos_seed in range(64):
+        candidate = ChaosConfig(seed=chaos_seed, crash_rate=0.05)
+        predicted = first_crash_seq(candidate, len(schedule))
+        if predicted is not None and 1 < predicted < len(schedule):
+            chaos, crash_seq = candidate, predicted
+            break
+    if chaos is None:
+        raise AssertionError("no chaos seed produces a mid-schedule crash")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-killreplay-") as tmp:
+        clean_digest = run_schedule(
+            str(Path(tmp) / "clean.lmj"), str(Path(tmp) / "clean-snap"), **kr
+        )
+        context = multiprocessing.get_context("fork")
+        child = context.Process(
+            target=run_schedule,
+            args=(str(Path(tmp) / "torn.lmj"), str(Path(tmp) / "torn-snap")),
+            kwargs={**kr, "chaos": chaos},
+        )
+        child.start()
+        child.join(timeout=600)
+        if child.exitcode != 86:
+            raise AssertionError(
+                f"chaos child exited {child.exitcode}, expected the worker "
+                "crash code 86"
+            )
+        recovered_digest, resumed_at = resume_schedule(
+            str(Path(tmp) / "torn.lmj"), str(Path(tmp) / "torn-snap"), **kr
+        )
+        if resumed_at != crash_seq - 1:
+            raise AssertionError(
+                f"recovery resumed at seq {resumed_at}, expected "
+                f"{crash_seq - 1} (crash during append of seq {crash_seq})"
+            )
+        if recovered_digest != clean_digest:
+            raise AssertionError(
+                "kill-replay contract violated: recovered digest differs "
+                "from the uninterrupted run"
+            )
+
+    return {
+        "devices": num_devices,
+        "construction_mcmc_iterations": construction_iterations,
+        "delta_mutations": mutations,
+        "update_seconds": update_seconds,
+        "updates_per_second": mutations / update_seconds
+        if update_seconds else float("nan"),
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": rebuild_seconds / per_update if per_update else float("nan"),
+        "maintained_objective": maintained_objective,
+        "rebuilt_objective": rebuilt_objective,
+        "staleness": (maintained_objective - rebuilt_objective)
+        / max(rebuilt_objective, 1),
+        "kill_replay_devices": kr_devices,
+        "kill_replay_mutations": len(schedule),
+        "kill_replay_crash_seq": crash_seq,
+        "kill_replay_resumed_at": resumed_at,
+        "kill_replay_match": True,
+    }
+
+
 def check_trajectory(payload: dict, previous_path: Path) -> list:
     """Compare recorded speedups against the previous BENCH_engine.json.
 
@@ -892,7 +1072,22 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny scale, no JSON rewrite, no regression "
                              "gate — exercises every section (tier-1 CI)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated section names: measure only "
+                             "these, gate only these, and merge them into "
+                             "the existing BENCH_engine.json (the recorded "
+                             "scale must match)")
     args = parser.parse_args(argv)
+    if args.only:
+        selected = {name.strip() for name in args.only.split(",") if name.strip()}
+        unknown = selected - set(TRACKED_SPEEDUPS)
+        if unknown:
+            parser.error(
+                f"unknown section(s) {sorted(unknown)}; "
+                f"choose from {list(TRACKED_SPEEDUPS)}"
+            )
+    else:
+        selected = set(TRACKED_SPEEDUPS)
     if args.smoke:
         args.nodes = min(args.nodes, 40)
         args.epochs = min(args.epochs, 3)
@@ -905,69 +1100,108 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
 
     print(f"[bench_engine] graph: {graph.num_nodes} devices, "
           f"{graph.num_edges} edges, d={graph.num_features}")
-    treebatch = bench_treebatch(graph, args)
-    print(f"[bench_engine] TreeBatch assembly: vectorized "
-          f"{treebatch['vectorized_seconds'] * 1e3:.2f} ms vs generic "
-          f"{treebatch['generic_seconds'] * 1e3:.2f} ms "
-          f"({treebatch['speedup']:.1f}x)")
-    epoch = bench_epoch(graph, split, args)
-    print(f"[bench_engine] one epoch: fast {epoch['numpy_seconds'] * 1e3:.2f} ms "
-          f"vs reference {epoch['reference_seconds'] * 1e3:.2f} ms "
-          f"({epoch['speedup']:.2f}x)")
-    overhaul = bench_training_overhaul(graph, split, args)
-    print(f"[bench_engine] training overhaul ({overhaul['devices']} devices, "
-          f"{overhaul['epochs']} epochs): fused+folded "
-          f"{overhaul['fused_folded_epoch_seconds'] * 1e3:.2f} ms/epoch vs "
-          f"reference {overhaul['reference_epoch_seconds'] * 1e3:.2f} ms "
-          f"({overhaul['speedup']:.2f}x; folding {overhaul['folding_speedup']:.2f}x; "
-          f"batched sweep {overhaul['batched_sweep_seconds']:.2f} s vs per-point "
-          f"{overhaul['per_point_sweep_seconds']:.2f} s, "
-          f"{overhaul['batching_speedup']:.2f}x)")
-    mcmc = bench_mcmc_balancing(graph, args)
-    print(f"[bench_engine] MCMC balancing ({mcmc['iterations']} iterations, "
-          f"{mcmc['devices']} devices): incremental "
-          f"{mcmc['incremental_seconds'] * 1e3:.1f} ms vs pre-PR kernel "
-          f"{mcmc['pre_pr_seconds'] * 1e3:.1f} ms ({mcmc['speedup']:.2f}x)")
-    greedy = bench_greedy_initialization(graph, args)
-    print(f"[bench_engine] greedy initialization ({greedy['comparisons']} "
-          f"comparisons, {greedy['devices']} devices): batched "
-          f"{greedy['batched_seconds'] * 1e3:.2f} ms vs reference "
-          f"{greedy['reference_seconds'] * 1e3:.2f} ms ({greedy['speedup']:.1f}x)")
-    secure = bench_secure_construction(graph, args)
-    print(f"[bench_engine] secure construction ({secure['comparisons']} protocol "
-          f"runs, {secure['mcmc_iterations']} MCMC iterations, "
-          f"{secure['devices']} devices): batched "
-          f"{secure['batched_seconds'] * 1e3:.1f} ms vs reference "
-          f"{secure['reference_seconds'] * 1e3:.1f} ms ({secure['speedup']:.1f}x)")
-    sweep = bench_epsilon_sweep(graph, split, args)
-    print(f"[bench_engine] epsilon sweep ({sweep['points']} points): engine "
-          f"{sweep['engine_seconds']:.2f} s vs seed path "
-          f"{sweep['seed_path_seconds']:.2f} s ({sweep['speedup']:.2f}x "
-          f"end-to-end; pipeline phases {sweep['engine_pipeline_seconds']:.2f} s "
-          f"vs {sweep['seed_pipeline_seconds']:.2f} s, "
-          f"{sweep['pipeline_speedup']:.2f}x; construction ran "
-          f"{sweep['construction_runs']}x, tree_batch hit "
-          f"{sweep['tree_batch_hits']}x, ldp draws hit {sweep['ldp_draws_hits']}x)")
-    store_stats = sweep["store_stats"]
-    print(f"[bench_engine] sweep store: {store_stats['hits']} hits / "
-          f"{store_stats['misses']} misses, {store_stats['evictions']} evictions, "
-          f"{store_stats['entries']} entries resident")
-    parallel = bench_parallel_sweep(graph, args)
-    print(f"[bench_engine] parallel sweep ({parallel['points']} points, "
-          f"{parallel['cpu_count']} CPUs): {parallel['workers']} workers "
-          f"{parallel['workers_n_seconds']:.2f} s vs 1 worker "
-          f"{parallel['workers1_seconds']:.2f} s ({parallel['speedup']:.2f}x; "
-          f"serial executor {parallel['serial_seconds']:.2f} s, "
-          f"{parallel['vs_serial']:.2f}x vs serial)")
-    robustness = bench_robustness_sweep(graph, split, args)
-    print(f"[bench_engine] robustness sweep ({robustness['devices']} devices, "
-          f"{robustness['epochs']} epochs): faulted "
-          f"{robustness['faulted_seconds']:.2f} s vs fault-free "
-          f"{robustness['fault_free_seconds']:.2f} s "
-          f"({robustness['speedup']:.2f}x; participation "
-          f"{robustness['mean_participation']:.3f}, "
-          f"{robustness['dropped_messages']:.0f} dropped messages, "
-          f"accuracy delta {robustness['accuracy_delta']:+.3f})")
+    sections = {}
+    if "treebatch_assembly" in selected:
+        treebatch = sections["treebatch_assembly"] = bench_treebatch(graph, args)
+        print(f"[bench_engine] TreeBatch assembly: vectorized "
+              f"{treebatch['vectorized_seconds'] * 1e3:.2f} ms vs generic "
+              f"{treebatch['generic_seconds'] * 1e3:.2f} ms "
+              f"({treebatch['speedup']:.1f}x)")
+    if "training_epoch" in selected:
+        epoch = sections["training_epoch"] = bench_epoch(graph, split, args)
+        print(f"[bench_engine] one epoch: fast "
+              f"{epoch['numpy_seconds'] * 1e3:.2f} ms "
+              f"vs reference {epoch['reference_seconds'] * 1e3:.2f} ms "
+              f"({epoch['speedup']:.2f}x)")
+    if "training_overhaul" in selected:
+        overhaul = sections["training_overhaul"] = bench_training_overhaul(
+            graph, split, args
+        )
+        print(f"[bench_engine] training overhaul ({overhaul['devices']} devices, "
+              f"{overhaul['epochs']} epochs): fused+folded "
+              f"{overhaul['fused_folded_epoch_seconds'] * 1e3:.2f} ms/epoch vs "
+              f"reference {overhaul['reference_epoch_seconds'] * 1e3:.2f} ms "
+              f"({overhaul['speedup']:.2f}x; folding "
+              f"{overhaul['folding_speedup']:.2f}x; "
+              f"batched sweep {overhaul['batched_sweep_seconds']:.2f} s vs "
+              f"per-point {overhaul['per_point_sweep_seconds']:.2f} s, "
+              f"{overhaul['batching_speedup']:.2f}x)")
+    if "mcmc_balancing" in selected:
+        mcmc = sections["mcmc_balancing"] = bench_mcmc_balancing(graph, args)
+        print(f"[bench_engine] MCMC balancing ({mcmc['iterations']} iterations, "
+              f"{mcmc['devices']} devices): incremental "
+              f"{mcmc['incremental_seconds'] * 1e3:.1f} ms vs pre-PR kernel "
+              f"{mcmc['pre_pr_seconds'] * 1e3:.1f} ms ({mcmc['speedup']:.2f}x)")
+    if "greedy_initialization" in selected:
+        greedy = sections["greedy_initialization"] = bench_greedy_initialization(
+            graph, args
+        )
+        print(f"[bench_engine] greedy initialization ({greedy['comparisons']} "
+              f"comparisons, {greedy['devices']} devices): batched "
+              f"{greedy['batched_seconds'] * 1e3:.2f} ms vs reference "
+              f"{greedy['reference_seconds'] * 1e3:.2f} ms "
+              f"({greedy['speedup']:.1f}x)")
+    if "secure_construction" in selected:
+        secure = sections["secure_construction"] = bench_secure_construction(
+            graph, args
+        )
+        print(f"[bench_engine] secure construction ({secure['comparisons']} "
+              f"protocol runs, {secure['mcmc_iterations']} MCMC iterations, "
+              f"{secure['devices']} devices): batched "
+              f"{secure['batched_seconds'] * 1e3:.1f} ms vs reference "
+              f"{secure['reference_seconds'] * 1e3:.1f} ms "
+              f"({secure['speedup']:.1f}x)")
+    if "epsilon_sweep" in selected:
+        sweep = sections["epsilon_sweep"] = bench_epsilon_sweep(graph, split, args)
+        print(f"[bench_engine] epsilon sweep ({sweep['points']} points): engine "
+              f"{sweep['engine_seconds']:.2f} s vs seed path "
+              f"{sweep['seed_path_seconds']:.2f} s ({sweep['speedup']:.2f}x "
+              f"end-to-end; pipeline phases "
+              f"{sweep['engine_pipeline_seconds']:.2f} s "
+              f"vs {sweep['seed_pipeline_seconds']:.2f} s, "
+              f"{sweep['pipeline_speedup']:.2f}x; construction ran "
+              f"{sweep['construction_runs']}x, tree_batch hit "
+              f"{sweep['tree_batch_hits']}x, ldp draws hit "
+              f"{sweep['ldp_draws_hits']}x)")
+        store_stats = sweep["store_stats"]
+        print(f"[bench_engine] sweep store: {store_stats['hits']} hits / "
+              f"{store_stats['misses']} misses, "
+              f"{store_stats['evictions']} evictions, "
+              f"{store_stats['entries']} entries resident")
+    if "parallel_sweep" in selected:
+        parallel = sections["parallel_sweep"] = bench_parallel_sweep(graph, args)
+        print(f"[bench_engine] parallel sweep ({parallel['points']} points, "
+              f"{parallel['cpu_count']} CPUs): {parallel['workers']} workers "
+              f"{parallel['workers_n_seconds']:.2f} s vs 1 worker "
+              f"{parallel['workers1_seconds']:.2f} s ({parallel['speedup']:.2f}x; "
+              f"serial executor {parallel['serial_seconds']:.2f} s, "
+              f"{parallel['vs_serial']:.2f}x vs serial)")
+    if "robustness_sweep" in selected:
+        robustness = sections["robustness_sweep"] = bench_robustness_sweep(
+            graph, split, args
+        )
+        print(f"[bench_engine] robustness sweep ({robustness['devices']} devices, "
+              f"{robustness['epochs']} epochs): faulted "
+              f"{robustness['faulted_seconds']:.2f} s vs fault-free "
+              f"{robustness['fault_free_seconds']:.2f} s "
+              f"({robustness['speedup']:.2f}x; participation "
+              f"{robustness['mean_participation']:.3f}, "
+              f"{robustness['dropped_messages']:.0f} dropped messages, "
+              f"accuracy delta {robustness['accuracy_delta']:+.3f})")
+    if "tree_maintenance" in selected:
+        maintenance = sections["tree_maintenance"] = bench_tree_maintenance(
+            graph, args
+        )
+        print(f"[bench_engine] tree maintenance ({maintenance['devices']} "
+              f"devices): {maintenance['updates_per_second']:.0f} journalled "
+              f"updates/s ({maintenance['delta_mutations']} mutations in "
+              f"{maintenance['update_seconds'] * 1e3:.1f} ms) vs rebuild "
+              f"{maintenance['rebuild_seconds']:.2f} s "
+              f"({maintenance['speedup']:.0f}x per update; staleness "
+              f"{maintenance['staleness']:+.3f}; kill-replay at "
+              f"{maintenance['kill_replay_devices']} devices: crash at seq "
+              f"{maintenance['kill_replay_crash_seq']}, resumed at "
+              f"{maintenance['kill_replay_resumed_at']}, digest match)")
 
     payload = {
         "scale": {
@@ -980,15 +1214,7 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
             # in the section itself, as interpretation context only).
             "workers": args.workers,
         },
-        "treebatch_assembly": treebatch,
-        "training_epoch": epoch,
-        "training_overhaul": overhaul,
-        "mcmc_balancing": mcmc,
-        "greedy_initialization": greedy,
-        "secure_construction": secure,
-        "epsilon_sweep": sweep,
-        "parallel_sweep": parallel,
-        "robustness_sweep": robustness,
+        **sections,
     }
     if args.smoke:
         print("[bench_engine] smoke mode: skipping the JSON rewrite and the "
@@ -1000,6 +1226,32 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
         output = Path(default_output)
     else:
         output = Path.cwd() / "BENCH_engine.json"
+    if args.only:
+        # Partial run: gate and rewrite only the measured sections, keep the
+        # rest of the recorded trajectory untouched.
+        previous = {}
+        if output.exists():
+            try:
+                previous = json.loads(output.read_text())
+            except (OSError, json.JSONDecodeError):
+                previous = {}
+        if previous and previous.get("scale") != payload["scale"]:
+            print("[bench_engine] --only requires the recorded scale "
+                  f"{previous.get('scale')} (got {payload['scale']}); "
+                  "rerun with matching --nodes/--epochs/--mcmc/--repeat/"
+                  "--workers or do a full run", file=sys.stderr)
+            return 1
+        regressions = check_trajectory(payload, output)
+        if regressions:
+            for regression in regressions:
+                print(f"[bench_engine] REGRESSION: {regression}", file=sys.stderr)
+            print("[bench_engine] refusing to overwrite the recorded "
+                  "trajectory", file=sys.stderr)
+            return 1
+        merged = {**previous, **payload}
+        output.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"[bench_engine] merged {sorted(sections)} into {output}")
+        return 0
     regressions = check_trajectory(payload, output)
     if regressions:
         for regression in regressions:

@@ -853,3 +853,75 @@ class MCMCBalancer:
             accepted_transitions=accepted,
             iterations=self.iterations,
         )
+
+
+# --------------------------------------------------------------------------- #
+# Localized rebalance (tree maintenance)
+# --------------------------------------------------------------------------- #
+def localized_rebalance(
+    assignment: Assignment,
+    region: Sequence[int],
+    iterations: int,
+    rng: np.random.Generator,
+    accountant: Optional[TranscriptAccountant] = None,
+    bit_width: int = 24,
+) -> Dict[str, int]:
+    """Alg. 2 restricted to ``region``, in place, via the O(k) deltas.
+
+    The maintenance layer calls this after churn has perturbed a constructed
+    tree: instead of re-running the global balancer, only the devices in
+    ``region`` (typically the heaviest device and its ego neighbourhood)
+    participate.  Each iteration mirrors one step of the incremental loop —
+    region-local argmax, ``k ~ Uniform{1, ..., round(ln |targets|)}`` sampled
+    targets, Metropolis-Hastings acceptance — but both the argmax and the
+    objective are evaluated over ``region`` only, so one iteration costs
+    O(|region| + k) regardless of federation size.
+
+    Mutates ``assignment`` through :meth:`Assignment.apply_transfer` /
+    :meth:`Assignment.undo_transfer` (never touching the private workload
+    vector) and charges the analytic comparison cost to ``accountant``.
+    Returns deterministic counters (``accepted`` transitions, neighbour
+    ``moves``, ``comparisons`` charged) for the caller's ledger entry.
+    """
+    region_set = {int(v) for v in region} & set(assignment.selected)
+    region_ids = sorted(region_set)
+    accepted = 0
+    moves = 0
+    comparisons = 0
+    for _ in range(iterations):
+        if not region_ids:
+            break
+        # Region-local Alg. 3: argmax workload, smallest id on ties.
+        heaviest, objective_before = region_ids[0], -1
+        for vertex in region_ids:
+            workload = len(assignment.selected.get(vertex, ()))
+            if workload > objective_before:
+                heaviest, objective_before = vertex, workload
+        comparisons += max(len(region_ids) - 1, 0)
+        # Only region members may receive load: with targets outside the
+        # region the *local* objective could "improve" by piling work onto
+        # devices this rebalance never re-examines.
+        targets_pool = sorted(
+            v for v in assignment.selected.get(heaviest, ()) if v in region_set
+        )
+        if not targets_pool:
+            break  # the whole region is workload-free; nothing to move
+        step_limit = max(1, int(round(math.log(len(targets_pool)))) or 1)
+        step = min(int(rng.integers(1, step_limit + 1)), len(targets_pool))
+        chosen = rng.choice(targets_pool, size=step, replace=False)
+        targets = [int(v) for v in np.atleast_1d(chosen)]
+
+        record = assignment.apply_transfer(heaviest, targets)
+        objective_after = max(
+            len(assignment.selected.get(vertex, ())) for vertex in region_ids
+        )
+        comparisons += 1  # the objective-difference comparison
+        difference = objective_before - objective_after
+        if rng.random() < min(1.0, math.exp(min(difference, 50))):
+            accepted += 1
+            moves += len(targets)
+        else:
+            assignment.undo_transfer(heaviest, record)
+    if accountant is not None and comparisons:
+        _charge_analytic_comparisons(accountant, comparisons, bit_width=bit_width)
+    return {"accepted": accepted, "moves": moves, "comparisons": comparisons}

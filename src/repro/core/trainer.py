@@ -551,6 +551,20 @@ class EpochCostModel:
         )
         return float(self.fixed_overhead + per_device.max()) if per_device.size else 0.0
 
+    def steady_state_epoch_time(self, workloads: np.ndarray) -> float:
+        """Epoch time implied by a workload distribution alone.
+
+        Derives the structural quantities from the workloads — ``3*wl + 1``
+        tree nodes (:func:`repro.core.tree.expected_tree_size`) and ``2*wl``
+        communication rounds (one upload + one download per kept neighbour)
+        — so the maintenance layer's :class:`StalenessMonitor` can price a
+        maintained tree against a from-scratch reconstruction without
+        materialising either's local graphs.
+        """
+        workloads = np.asarray(workloads, dtype=np.float64)
+        tree_sizes = np.where(workloads > 0, 3.0 * workloads + 1.0, 1.0)
+        return self.epoch_time(tree_sizes, 2.0 * workloads)
+
 
 # --------------------------------------------------------------------------- #
 # Training histories

@@ -166,9 +166,16 @@ class DiskSpillStore(ArtifactStore):
     Artifacts are pickled and wrapped in a ``uint8`` array inside the
     ``np.savez`` container, so loading never needs ``allow_pickle`` at the
     numpy layer and the format stays a single self-describing file per key.
+    Every spill records a SHA-256 checksum of the payload bytes, verified on
+    reload: a truncated or corrupted file is *quarantined* (renamed to
+    ``*.quarantined`` so ``__contains__`` stops advertising it, preserved
+    for post-mortem) and degrades to a cache miss — the artifact is simply
+    recomputed, never crashing the worker that hit it.
     """
 
-    _FORMAT_VERSION = 1
+    # v2 added the payload checksum field; v1 files (or any unreadable
+    # version) degrade to a miss and are quarantined like corrupt files.
+    _FORMAT_VERSION = 2
 
     def __init__(
         self,
@@ -186,6 +193,7 @@ class DiskSpillStore(ArtifactStore):
         self._total_bytes = 0
         self.spill_writes = 0
         self.spill_loads = 0
+        self.integrity_failures = 0
         # Keys this instance has durably published (written or successfully
         # loaded).  Only they may skip the atomic re-publish on eviction:
         # a bare ``path.exists()`` is not a guarantee — another process may
@@ -229,11 +237,13 @@ class DiskSpillStore(ArtifactStore):
         self._published.clear()
         self.spill_writes = 0
         self.spill_loads = 0
-        for path in self.directory.glob("*.npz"):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        self.integrity_failures = 0
+        for pattern in ("*.npz", "*.npz.quarantined"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     @property
     def in_memory_bytes(self) -> int:
@@ -246,6 +256,7 @@ class DiskSpillStore(ArtifactStore):
         snapshot.update(
             spill_writes=self.spill_writes,
             spill_loads=self.spill_loads,
+            integrity_failures=self.integrity_failures,
             in_memory_bytes=self._total_bytes,
         )
         return snapshot
@@ -275,14 +286,15 @@ class DiskSpillStore(ArtifactStore):
             # skipping on a stale ``exists()`` observation could strand the
             # key with no file at all.
             return
-        payload = np.frombuffer(
-            pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
-        )
+        payload_bytes = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = np.frombuffer(payload_bytes, dtype=np.uint8)
+        checksum = hashlib.sha256(payload_bytes).digest()
         buffer = io.BytesIO()
         np.savez(
             buffer,
             version=np.int64(self._FORMAT_VERSION),
             key=np.frombuffer(key.encode("utf-8"), dtype=np.uint8),
+            checksum=np.frombuffer(checksum, dtype=np.uint8),
             payload=payload,
         )
         # Per-process temp name: concurrent writers of one key (two sweeps,
@@ -318,7 +330,11 @@ class DiskSpillStore(ArtifactStore):
                 version_ok = int(archive["version"]) == self._FORMAT_VERSION
                 stored_key = bytes(archive["key"].tobytes()).decode("utf-8")
                 if version_ok and stored_key == key:
-                    artifact = pickle.loads(archive["payload"].tobytes())
+                    payload_bytes = archive["payload"].tobytes()
+                    checksum = bytes(archive["checksum"].tobytes())
+                    if hashlib.sha256(payload_bytes).digest() != checksum:
+                        return None  # bit rot / tampering inside a valid zip
+                    artifact = pickle.loads(payload_bytes)
                     usable = True
                     self._published.add(key)
                     return artifact
@@ -327,16 +343,22 @@ class DiskSpillStore(ArtifactStore):
             return None
         finally:
             if not usable:
-                # Any unusable file — truncated archive, stale format or
-                # pickle from an older revision, digest collision — degrades
-                # to a cache miss AND is dropped, so a later eviction
-                # re-publishes the key and ``__contains__`` stops
-                # advertising an unloadable entry.
+                # Any unusable file — truncated archive, checksum mismatch,
+                # stale format or pickle from an older revision, digest
+                # collision — degrades to a cache miss AND is quarantined
+                # (renamed out of the ``*.npz`` namespace), so a later
+                # eviction re-publishes the key, ``__contains__`` stops
+                # advertising an unloadable entry, and the corrupt bytes
+                # survive for post-mortem instead of being destroyed.
                 self._published.discard(key)
+                self.integrity_failures += 1
                 try:
-                    path.unlink()
+                    path.replace(path.with_name(f"{path.name}.quarantined"))
                 except OSError:
-                    pass
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def _path_for(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]

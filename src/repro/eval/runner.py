@@ -46,6 +46,7 @@ from ..faults import FaultScenarioConfig, default_robustness_scenarios
 from ..graph import Graph, load_dataset, split_edges, split_nodes
 from ..runtime import (
     BaselineItem,
+    CallableItem,
     Executor,
     GraphSpec,
     LumosItem,
@@ -412,6 +413,65 @@ def run_robustness_sweep(
             baseline_accuracy, entry["test_accuracy"]
         )
     return results
+
+
+# --------------------------------------------------------------------------- #
+# Churn maintenance — delta-maintained tree vs rebuild, under joins/leaves
+# --------------------------------------------------------------------------- #
+def run_churn_maintenance(
+    dataset: str = "facebook",
+    scenario: Optional[FaultScenarioConfig] = None,
+    rounds: int = 24,
+    scale: ExperimentScale = ExperimentScale(),
+    staleness_bound: float = 0.25,
+    rebuild_bound: float = 1.0,
+    check_every: int = 6,
+    executor: ExecutorArg = None,
+    max_workers: Optional[int] = None,
+) -> Dict[str, float]:
+    """Maintain a constructed tree through a churn schedule; report metrics.
+
+    The fault plan's joins/leaves become journalled delta mutations of a
+    :class:`~repro.maintenance.MaintainedTree`, with a
+    :class:`~repro.maintenance.StalenessMonitor` check every ``check_every``
+    rounds; the run replays its own mutation journal at the end and asserts
+    bit-identity before returning (``replay_matches_live``).  The body is a
+    module-level callable
+    (``repro.maintenance.churn:churn_maintenance_metrics``), shipped as a
+    ``CallableItem`` so the serial path and ``executor="process"`` execute
+    the identical work plan — the returned dictionary contains only
+    deterministic values, making the two paths bit-for-bit identical like
+    every other entry point.
+    """
+    scenario = (
+        scenario
+        if scenario is not None
+        else FaultScenarioConfig(join_rate=0.30, leave_rate=0.10, fault_seed=13)
+    )
+    kwargs = {
+        "dataset": dataset,
+        "num_nodes": scale.num_nodes,
+        "seed": scale.seed,
+        "scenario": scenario,
+        "rounds": rounds,
+        "mcmc_iterations": scale.mcmc_iterations,
+        "staleness_bound": staleness_bound,
+        "rebuild_bound": rebuild_bound,
+        "check_every": check_every,
+    }
+    plan = WorkPlan()
+    key = plan.add(
+        CallableItem(
+            target="repro.maintenance.churn:churn_maintenance_metrics",
+            kwargs=tuple(sorted(kwargs.items())),
+            label=f"maintenance/{dataset}",
+        )
+    )
+    resolved = resolve_executor(executor, max_workers)
+    if resolved is None:
+        resolved = SerialExecutor(store=default_store())
+    report = resolved.execute(plan)
+    return dict(report.records[key].value)
 
 
 # --------------------------------------------------------------------------- #

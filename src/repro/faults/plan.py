@@ -61,6 +61,13 @@ class FaultPlan:
     evicted: np.ndarray
     lost: np.ndarray
     participating: np.ndarray
+    #: Pre-dropout churn state (the raw Markov chain): ``present[r, d]`` is
+    #: True when device ``d`` is a federation member in round ``r``.  All
+    #: ones for churn-free scenarios.  This is the schedule the maintenance
+    #: layer turns into real tree mutations (``churn_events``), while
+    #: ``online`` additionally masks per-round dropout — a dropped-out
+    #: device skipped a round but never left the tree.
+    present: np.ndarray = None
 
     @classmethod
     def compile(
@@ -134,6 +141,7 @@ class FaultPlan:
             evicted=evicted,
             lost=lost,
             participating=participating,
+            present=present,
         )
 
     # -- per-round accessors -------------------------------------------------
@@ -152,6 +160,26 @@ class FaultPlan:
 
     def participants(self, round_index: int) -> np.ndarray:
         return self.participating[round_index]
+
+    def present_mask(self, round_index: int) -> np.ndarray:
+        return self.present[round_index]
+
+    def churn_events(self):
+        """Yield ``(round_index, joins, leaves)`` from the churn chain.
+
+        Diffs consecutive rows of ``present`` against an all-present start
+        (the tree is constructed over the full graph), returning sorted
+        device-id lists.  This is the bridge from the compiled schedule to
+        the maintenance layer: a leave removes the device from the tree, a
+        join re-inserts it with its original ego edges.
+        """
+        previous = np.ones(self.num_devices, dtype=bool)
+        for round_index in range(self.num_rounds):
+            row = self.present[round_index]
+            leaves = [int(d) for d in np.where(previous & ~row)[0]]
+            joins = [int(d) for d in np.where(~previous & row)[0]]
+            yield round_index, joins, leaves
+            previous = row
 
     # -- aggregates ----------------------------------------------------------
 
@@ -189,7 +217,13 @@ class FaultPlan:
         return fingerprint_value(self.config)
 
     def schedule_digest(self) -> str:
-        """SHA-256 over every derived array — the bit-for-bit replay witness."""
+        """SHA-256 over the derived training-side arrays (replay witness).
+
+        ``present`` is deliberately excluded: it is a pure function of the
+        same draws (``online = present & ~dropped``), and keeping the hashed
+        tuple fixed preserves every digest recorded before the maintenance
+        layer existed.
+        """
         hasher = hashlib.sha256()
         hasher.update(f"{self.num_rounds}x{self.num_devices}".encode("utf-8"))
         for array in (self.online, self.latency, self.evicted, self.lost):

@@ -25,6 +25,24 @@ def clone_generator(rng: np.random.Generator) -> np.random.Generator:
     return twin
 
 
+def drain_churn_block(
+    rng: np.random.Generator, num_devices: int, num_rounds: int
+) -> None:
+    """Replay ``FaultPlan.compile``'s documented churn draws and discard them.
+
+    The churn block is one ``(num_devices,)`` uniform draw for the stationary
+    initial state plus one ``(num_rounds - 1, num_devices)`` block for the
+    Markov transitions (skipped when ``num_rounds <= 1``) — *independent of
+    the probability values*, including the 0.0/1.0 boundaries.  Positioning a
+    twin generator past this block lets a test derive the sibling blocks
+    (dropout, stragglers, loss) exactly as a churn-free compile would, which
+    is what pins "churn never shifts its siblings" as an executable contract.
+    """
+    rng.random(num_devices)
+    if num_rounds > 1:
+        rng.random((num_rounds - 1, num_devices))
+
+
 def assert_stream_contract(
     fn: Callable[[np.random.Generator], object],
     rng: np.random.Generator,

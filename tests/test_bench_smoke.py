@@ -48,6 +48,7 @@ def test_tracked_speedups_include_all_perf_sections():
         "epsilon_sweep",
         "parallel_sweep",
         "robustness_sweep",
+        "tree_maintenance",
     }
 
 

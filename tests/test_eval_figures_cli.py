@@ -39,7 +39,7 @@ class TestFigureFunctions:
     def test_figures_registry_is_complete(self):
         assert set(figures.FIGURES) == {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "headline",
-            "robustness",
+            "robustness", "maintenance",
         }
 
     def test_scale_from_name(self):

@@ -204,6 +204,106 @@ class TestFaultPlan:
 
 
 # --------------------------------------------------------------------------- #
+# Churn boundary probabilities
+# --------------------------------------------------------------------------- #
+class TestChurnBoundaries:
+    """p = 0.0 / 1.0 churn chains: valid masks, no sibling stream shift.
+
+    Uniform draws live in ``[0, 1)``, so the comparisons in the Markov chain
+    are exact at both boundaries: ``u < 1.0`` always holds and ``u < 0.0``
+    never does.  These tests pin the resulting all-online / all-offline /
+    alternating schedules, and — via ``drain_churn_block`` on a twin
+    generator — that the churn block consumes exactly its documented draws
+    whatever the probabilities, so the dropout schedule never shifts.
+    """
+
+    def test_certain_join_never_leave_is_all_present(self):
+        plan = FaultPlan.compile(
+            FaultScenarioConfig(join_rate=1.0, leave_rate=0.0, fault_seed=3), 17, 9
+        )
+        assert plan.present.all() and plan.online.all()
+        assert all(
+            joins == [] and leaves == []
+            for _, joins, leaves in plan.churn_events()
+        )
+
+    def test_never_join_certain_leave_is_all_absent(self):
+        plan = FaultPlan.compile(
+            FaultScenarioConfig(join_rate=0.0, leave_rate=1.0, fault_seed=3), 17, 9
+        )
+        assert not plan.present.any()
+        assert not plan.online.any()
+        # Everyone leaves in round 0 (the tree starts all-present) and never
+        # returns.
+        events = list(plan.churn_events())
+        assert events[0][2] == list(range(17))
+        assert all(
+            joins == [] and leaves == [] for _, joins, leaves in events[1:]
+        )
+
+    def test_certain_join_and_leave_alternates_deterministically(self):
+        plan = FaultPlan.compile(
+            FaultScenarioConfig(join_rate=1.0, leave_rate=1.0, fault_seed=3), 17, 9
+        )
+        # After the stationary round-0 draw, every present device leaves and
+        # every absent device joins — strict alternation, device by device.
+        for r in range(1, plan.num_rounds):
+            np.testing.assert_array_equal(
+                plan.present[r], ~plan.present[r - 1]
+            )
+        for round_index, joins, leaves in plan.churn_events():
+            assert not set(joins) & set(leaves)
+
+    @pytest.mark.parametrize(
+        "join_rate,leave_rate",
+        [(1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.5, 0.5)],
+    )
+    def test_churn_block_never_shifts_the_dropout_schedule(
+        self, join_rate, leave_rate
+    ):
+        # Derive the expected dropout mask by draining the documented churn
+        # block on a twin generator; the compiled plan's ``online`` must be
+        # exactly ``present & ~expected_dropped`` for every churn setting.
+        from helpers.rng_contract import drain_churn_block
+
+        num_devices, num_rounds, seed = 23, 7, 11
+        plan = FaultPlan.compile(
+            FaultScenarioConfig(
+                join_rate=join_rate,
+                leave_rate=leave_rate,
+                dropout_rate=0.3,
+                fault_seed=seed,
+            ),
+            num_devices,
+            num_rounds,
+        )
+        twin = np.random.default_rng(seed)
+        drain_churn_block(twin, num_devices, num_rounds)
+        expected_dropped = twin.random((num_rounds, num_devices)) < 0.3
+        np.testing.assert_array_equal(
+            plan.online, plan.present & ~expected_dropped
+        )
+
+    def test_present_matrix_is_excluded_from_schedule_digest(self):
+        # ``present`` is a pure function of the same draws as ``online``;
+        # hashing it would break every digest recorded before the
+        # maintenance layer existed, so it is deliberately excluded.
+        import dataclasses
+
+        plan = FaultPlan.compile(
+            FaultScenarioConfig(
+                join_rate=0.5, leave_rate=0.5, dropout_rate=0.2, fault_seed=4
+            ),
+            13,
+            6,
+        )
+        tampered = dataclasses.replace(
+            plan, present=np.zeros_like(plan.present)
+        )
+        assert tampered.schedule_digest() == plan.schedule_digest()
+
+
+# --------------------------------------------------------------------------- #
 # Cache-key / fingerprint integration
 # --------------------------------------------------------------------------- #
 class TestFaultKeys:

@@ -147,6 +147,7 @@ class TestStoreStats:
         assert snapshot == {
             "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
             "per_stage": {}, "spill_writes": 0, "spill_loads": 0,
-            "in_memory_bytes": 0,
+            "integrity_failures": 0, "in_memory_bytes": 0,
         }
         assert not list(tmp_path.glob("*.npz"))
+        assert not list(tmp_path.glob("*.npz.quarantined"))

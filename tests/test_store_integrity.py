@@ -1,0 +1,121 @@
+"""Spill-file integrity: checksums on write, verification + quarantine on read.
+
+``DiskSpillStore`` persists evicted artifacts as ``.npz`` files.  A partial
+write (process kill mid-spill), filesystem bit rot, or a stale-format file
+from an older revision must never crash the worker that reloads it — the
+contract is *miss, quarantine, recompute*:
+
+* every spilled payload carries a SHA-256 checksum, verified before the
+  pickle is ever touched;
+* an unusable file is renamed to ``*.npz.quarantined`` (kept for
+  post-mortem, no longer advertised by ``__contains__``) and counted in
+  ``integrity_failures``;
+* the key can immediately be re-published by a later eviction.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.engine.store import DiskSpillStore, StoredArtifact
+
+
+def _spilled(tmp_path, key: str = "stage/key", value=None) -> DiskSpillStore:
+    store = DiskSpillStore(tmp_path, max_bytes=1)  # spill on every put
+    store.put(key, StoredArtifact(value=np.arange(64) if value is None else value))
+    assert store._path_for(key).exists()
+    return store
+
+
+class TestChecksumRoundTrip:
+    def test_spilled_file_carries_a_verifiable_checksum(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        with np.load(path) as archive:
+            assert set(archive.files) >= {"version", "key", "checksum", "payload"}
+            assert len(archive["checksum"].tobytes()) == 32
+        artifact = store.get("stage/key")
+        assert artifact is not None
+        assert np.array_equal(artifact.value, np.arange(64))
+        assert store.integrity_failures == 0
+
+
+class TestTruncatedFile:
+    def test_truncated_npz_is_a_miss_not_a_crash(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # deliberate truncation
+
+        assert store.get("stage/key") is None  # miss — caller recomputes
+        assert store.integrity_failures == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+        # The store stops advertising the key entirely.
+        assert "stage/key" not in store
+
+    def test_empty_file_is_a_miss(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        path.write_bytes(b"")
+        assert store.get("stage/key") is None
+        assert store.integrity_failures == 1
+        assert path.with_name(path.name + ".quarantined").exists()
+
+    def test_fresh_reader_also_degrades_to_miss(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+
+        reader = DiskSpillStore(tmp_path, max_bytes=1)
+        assert reader.get("stage/key") is None
+        assert reader.integrity_failures == 1
+
+
+class TestTamperedPayload:
+    def test_bit_flip_inside_a_valid_zip_fails_the_checksum(self, tmp_path):
+        # A torn write is caught by the zip layer; silent corruption inside
+        # a structurally valid archive is exactly what the checksum is for.
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        with np.load(path) as archive:
+            fields = {name: archive[name].copy() for name in archive.files}
+        fields["payload"][len(fields["payload"]) // 2] ^= 0xFF
+        buffer = io.BytesIO()
+        np.savez(buffer, **fields)
+        path.write_bytes(buffer.getvalue())
+
+        assert store.get("stage/key") is None
+        assert store.integrity_failures == 1
+        assert path.with_name(path.name + ".quarantined").exists()
+
+
+class TestRecoveryAfterQuarantine:
+    def test_key_can_be_republished_after_quarantine(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.get("stage/key") is None
+
+        # Recompute-and-republish: the quarantined bytes do not block the
+        # fresh spill, and the new file round-trips.
+        store.put("stage/key", StoredArtifact(value=np.full(8, 7)))
+        artifact = store.get("stage/key")
+        assert artifact is not None
+        assert np.array_equal(artifact.value, np.full(8, 7))
+        assert path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+
+    def test_clear_removes_quarantined_files_too(self, tmp_path):
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        path.write_bytes(b"junk")
+        assert store.get("stage/key") is None
+        store.clear()
+        assert not list(tmp_path.glob("*.npz"))
+        assert not list(tmp_path.glob("*.npz.quarantined"))
+        assert store.integrity_failures == 0
