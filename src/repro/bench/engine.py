@@ -45,7 +45,14 @@ Run with::
 
     PYTHONPATH=src python benchmarks/bench_engine.py [--nodes 300]
         [--epochs 50] [--mcmc 1000] [--repeat 2] [--workers 4] [--smoke]
-        [--only section[,section...]]
+        [--only section[,section...]] [--trace trace.json]
+
+Every section additionally records ``observed_wall_seconds``,
+``observed_cpu_seconds`` and ``observed_peak_rss_bytes`` — informational
+resource observations excluded from the regression gate (which reads only
+``speedup``).  ``--trace PATH`` wraps the run in the observability tracer
+and writes a Chrome trace-event JSON (one track per worker process;
+loadable in https://ui.perfetto.dev).
 
 (or, once installed, ``repro-bench`` — which writes ``BENCH_engine.json``
 to the current directory unless ``--output`` says otherwise).
@@ -71,6 +78,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core import (
     LumosSystem,
     MCMCBalancer,
@@ -103,6 +111,40 @@ TRACKED_SPEEDUPS = (
     "tree_maintenance",
 )
 REGRESSION_TOLERANCE = 0.20
+
+
+def _peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process so far, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; platforms
+    without the ``resource`` module report nothing.
+    """
+    try:
+        import resource
+    except ImportError:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def _observed(name: str, section_fn, *section_args) -> dict:
+    """Run one bench section, annotating informational resource observations.
+
+    ``observed_*`` fields record the section's wall time, CPU time and the
+    process peak RSS after it ran.  They are context for humans reading
+    ``BENCH_engine.json`` — the regression gate reads only ``speedup`` (and
+    ``cpu_count``), so these never participate in the >20% check.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    with obs.span(f"bench.{name}"):
+        result = section_fn(*section_args)
+    result["observed_wall_seconds"] = time.perf_counter() - wall_start
+    result["observed_cpu_seconds"] = time.process_time() - cpu_start
+    peak_rss = _peak_rss_bytes()
+    if peak_rss is not None:
+        result["observed_peak_rss_bytes"] = peak_rss
+    return result
 
 
 class _SeedScheduleTrainer(TreeBasedGNNTrainer):
@@ -1077,6 +1119,10 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
                              "these, gate only these, and merge them into "
                              "the existing BENCH_engine.json (the recorded "
                              "scale must match)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(spans from every section, one track per "
+                             "worker process; load in ui.perfetto.dev)")
     args = parser.parse_args(argv)
     if args.only:
         selected = {name.strip() for name in args.only.split(",") if name.strip()}
@@ -1100,22 +1146,30 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
 
     print(f"[bench_engine] graph: {graph.num_nodes} devices, "
           f"{graph.num_edges} edges, d={graph.num_features}")
+    tracer = None
+    if args.trace:
+        tracer = obs.Tracer(process="bench")
+        obs.set_tracer(tracer)
     sections = {}
     if "treebatch_assembly" in selected:
-        treebatch = sections["treebatch_assembly"] = bench_treebatch(graph, args)
+        treebatch = sections["treebatch_assembly"] = _observed(
+            "treebatch_assembly", bench_treebatch, graph, args
+        )
         print(f"[bench_engine] TreeBatch assembly: vectorized "
               f"{treebatch['vectorized_seconds'] * 1e3:.2f} ms vs generic "
               f"{treebatch['generic_seconds'] * 1e3:.2f} ms "
               f"({treebatch['speedup']:.1f}x)")
     if "training_epoch" in selected:
-        epoch = sections["training_epoch"] = bench_epoch(graph, split, args)
+        epoch = sections["training_epoch"] = _observed(
+            "training_epoch", bench_epoch, graph, split, args
+        )
         print(f"[bench_engine] one epoch: fast "
               f"{epoch['numpy_seconds'] * 1e3:.2f} ms "
               f"vs reference {epoch['reference_seconds'] * 1e3:.2f} ms "
               f"({epoch['speedup']:.2f}x)")
     if "training_overhaul" in selected:
-        overhaul = sections["training_overhaul"] = bench_training_overhaul(
-            graph, split, args
+        overhaul = sections["training_overhaul"] = _observed(
+            "training_overhaul", bench_training_overhaul, graph, split, args
         )
         print(f"[bench_engine] training overhaul ({overhaul['devices']} devices, "
               f"{overhaul['epochs']} epochs): fused+folded "
@@ -1127,14 +1181,16 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"per-point {overhaul['per_point_sweep_seconds']:.2f} s, "
               f"{overhaul['batching_speedup']:.2f}x)")
     if "mcmc_balancing" in selected:
-        mcmc = sections["mcmc_balancing"] = bench_mcmc_balancing(graph, args)
+        mcmc = sections["mcmc_balancing"] = _observed(
+            "mcmc_balancing", bench_mcmc_balancing, graph, args
+        )
         print(f"[bench_engine] MCMC balancing ({mcmc['iterations']} iterations, "
               f"{mcmc['devices']} devices): incremental "
               f"{mcmc['incremental_seconds'] * 1e3:.1f} ms vs pre-PR kernel "
               f"{mcmc['pre_pr_seconds'] * 1e3:.1f} ms ({mcmc['speedup']:.2f}x)")
     if "greedy_initialization" in selected:
-        greedy = sections["greedy_initialization"] = bench_greedy_initialization(
-            graph, args
+        greedy = sections["greedy_initialization"] = _observed(
+            "greedy_initialization", bench_greedy_initialization, graph, args
         )
         print(f"[bench_engine] greedy initialization ({greedy['comparisons']} "
               f"comparisons, {greedy['devices']} devices): batched "
@@ -1142,8 +1198,8 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{greedy['reference_seconds'] * 1e3:.2f} ms "
               f"({greedy['speedup']:.1f}x)")
     if "secure_construction" in selected:
-        secure = sections["secure_construction"] = bench_secure_construction(
-            graph, args
+        secure = sections["secure_construction"] = _observed(
+            "secure_construction", bench_secure_construction, graph, args
         )
         print(f"[bench_engine] secure construction ({secure['comparisons']} "
               f"protocol runs, {secure['mcmc_iterations']} MCMC iterations, "
@@ -1152,7 +1208,9 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{secure['reference_seconds'] * 1e3:.1f} ms "
               f"({secure['speedup']:.1f}x)")
     if "epsilon_sweep" in selected:
-        sweep = sections["epsilon_sweep"] = bench_epsilon_sweep(graph, split, args)
+        sweep = sections["epsilon_sweep"] = _observed(
+            "epsilon_sweep", bench_epsilon_sweep, graph, split, args
+        )
         print(f"[bench_engine] epsilon sweep ({sweep['points']} points): engine "
               f"{sweep['engine_seconds']:.2f} s vs seed path "
               f"{sweep['seed_path_seconds']:.2f} s ({sweep['speedup']:.2f}x "
@@ -1169,7 +1227,9 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{store_stats['evictions']} evictions, "
               f"{store_stats['entries']} entries resident")
     if "parallel_sweep" in selected:
-        parallel = sections["parallel_sweep"] = bench_parallel_sweep(graph, args)
+        parallel = sections["parallel_sweep"] = _observed(
+            "parallel_sweep", bench_parallel_sweep, graph, args
+        )
         print(f"[bench_engine] parallel sweep ({parallel['points']} points, "
               f"{parallel['cpu_count']} CPUs): {parallel['workers']} workers "
               f"{parallel['workers_n_seconds']:.2f} s vs 1 worker "
@@ -1177,8 +1237,8 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"serial executor {parallel['serial_seconds']:.2f} s, "
               f"{parallel['vs_serial']:.2f}x vs serial)")
     if "robustness_sweep" in selected:
-        robustness = sections["robustness_sweep"] = bench_robustness_sweep(
-            graph, split, args
+        robustness = sections["robustness_sweep"] = _observed(
+            "robustness_sweep", bench_robustness_sweep, graph, split, args
         )
         print(f"[bench_engine] robustness sweep ({robustness['devices']} devices, "
               f"{robustness['epochs']} epochs): faulted "
@@ -1189,8 +1249,8 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{robustness['dropped_messages']:.0f} dropped messages, "
               f"accuracy delta {robustness['accuracy_delta']:+.3f})")
     if "tree_maintenance" in selected:
-        maintenance = sections["tree_maintenance"] = bench_tree_maintenance(
-            graph, args
+        maintenance = sections["tree_maintenance"] = _observed(
+            "tree_maintenance", bench_tree_maintenance, graph, args
         )
         print(f"[bench_engine] tree maintenance ({maintenance['devices']} "
               f"devices): {maintenance['updates_per_second']:.0f} journalled "
@@ -1202,6 +1262,13 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{maintenance['kill_replay_devices']} devices: crash at seq "
               f"{maintenance['kill_replay_crash_seq']}, resumed at "
               f"{maintenance['kill_replay_resumed_at']}, digest match)")
+
+    if tracer is not None:
+        obs.set_tracer(None)
+        trace = obs.RunTrace.from_tracer(tracer)
+        trace_path = obs.write_chrome_trace(trace, args.trace)
+        print(f"[bench_engine] trace written to {trace_path} "
+              "(load in https://ui.perfetto.dev)")
 
     payload = {
         "scale": {

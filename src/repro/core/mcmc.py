@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..crypto.oblivious_transfer import TranscriptAccountant
 from ..crypto.secure_compare import comparison_cost
 from ..crypto.zero_knowledge import WorkloadComparisonProtocol
@@ -180,6 +181,10 @@ def _charge_analytic_comparisons(
     accountant.ot_invocations += count * cost.ot_invocations
     accountant.messages += count * cost.messages
     accountant.bits += count * cost.bits
+    obs.add_counter("crypto.comparisons", count)
+    obs.add_counter("crypto.ot_invocations", count * cost.ot_invocations)
+    obs.add_counter("crypto.messages", count * cost.messages)
+    obs.add_counter("crypto.bits", count * cost.bits)
 
 
 def _charge_comparison_traffic(environment: FederatedEnvironment, count: int) -> None:

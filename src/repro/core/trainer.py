@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..crypto.ldp import FeatureBounds
 from ..faults.config import FaultScenarioConfig
 from ..faults.plan import FaultPlan
@@ -844,15 +845,26 @@ class TreeBasedGNNTrainer:
                 "skipped_updates": 0.0,
                 "mean_epoch_time": self.simulated_epoch_time(task),
             }
-            return
-        times = self._fault_epoch_times(plan, task)
-        stats = plan.summary()
-        stats["skipped_updates"] = float(skipped_updates)
-        stats["mean_epoch_time"] = (
-            float(times.mean()) if times.size else self.cost_model.fixed_overhead
+        else:
+            times = self._fault_epoch_times(plan, task)
+            stats = plan.summary()
+            stats["skipped_updates"] = float(skipped_updates)
+            stats["mean_epoch_time"] = (
+                float(times.mean()) if times.size else self.cost_model.fixed_overhead
+            )
+            self.fault_stats = stats
+            self.environment.set_availability(None)
+        obs.set_gauge("trainer.mean_participation", self.fault_stats["mean_participation"])
+        obs.add_counter("trainer.skipped_updates", self.fault_stats["skipped_updates"])
+        obs.add_counter(
+            "trainer.offline_device_rounds", self.fault_stats["offline_device_rounds"]
         )
-        self.fault_stats = stats
-        self.environment.set_availability(None)
+        obs.add_counter(
+            "trainer.evicted_device_rounds", self.fault_stats["evicted_device_rounds"]
+        )
+        obs.add_counter(
+            "trainer.lost_update_rounds", self.fault_stats["lost_update_rounds"]
+        )
 
     def _backend_context(self):
         """Context manager activating the configured trainer backend.
@@ -877,8 +889,9 @@ class TreeBasedGNNTrainer:
         log_every: int = 0,
     ) -> Tuple[LumosModel, SupervisedHistory]:
         """Train for node classification and return the model and its history."""
-        with self._backend_context():
-            return self._train_supervised_impl(labels, split, epochs, log_every)
+        with obs.span("trainer.train_supervised", epochs=epochs or self.config.epochs):
+            with self._backend_context():
+                return self._train_supervised_impl(labels, split, epochs, log_every)
 
     def _train_supervised_impl(
         self,
@@ -990,8 +1003,9 @@ class TreeBasedGNNTrainer:
                 "fault injection currently supports the supervised task only; "
                 "train_unsupervised requires an empty fault scenario"
             )
-        with self._backend_context():
-            return self._train_unsupervised_impl(edge_split, epochs, log_every)
+        with obs.span("trainer.train_unsupervised", epochs=epochs or self.config.epochs):
+            with self._backend_context():
+                return self._train_unsupervised_impl(edge_split, epochs, log_every)
 
     def _train_unsupervised_impl(
         self,

@@ -24,6 +24,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclass
 class TranscriptAccountant:
@@ -42,6 +44,8 @@ class TranscriptAccountant:
         """Record one message of ``bits`` bits."""
         self.messages += 1
         self.bits += int(bits)
+        obs.add_counter("crypto.messages")
+        obs.add_counter("crypto.bits", int(bits))
         if len(self._log) < self.LOG_CAP:
             self._log.append(f"{description}:{bits}")
 
@@ -57,6 +61,8 @@ class TranscriptAccountant:
             return
         self.messages += len(pattern) * count
         self.bits += sum(bits for _, bits in pattern) * count
+        obs.add_counter("crypto.messages", len(pattern) * count)
+        obs.add_counter("crypto.bits", sum(bits for _, bits in pattern) * count)
         remaining = self.LOG_CAP - len(self._log)
         if remaining > 0:
             entries = [f"{description}:{bits}" for description, bits in pattern]
@@ -71,6 +77,7 @@ class TranscriptAccountant:
         (the 128-bit term standing in for the public-key / base-OT overhead).
         """
         self.ot_invocations += 1
+        obs.add_counter("crypto.ot_invocations")
         self.record("ot", 2 * message_bits + 128)
 
     def merge(self, other: "TranscriptAccountant") -> None:

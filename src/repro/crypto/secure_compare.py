@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from .oblivious_transfer import ObliviousTransfer, TranscriptAccountant
 
 
@@ -138,6 +139,7 @@ class SecureComparator:
         result = bool(greater or equal)
 
         self.accountant.comparisons += 1
+        obs.add_counter("crypto.comparisons")
         return ComparisonResult(
             left_ge_right=result,
             bits_exchanged=self.accountant.bits - bits_before,
@@ -210,6 +212,8 @@ class SecureComparator:
         self.accountant.ot_invocations += cost.ot_invocations * count
         self.accountant.record_pattern(cost.pattern, count)
         self.accountant.comparisons += count
+        obs.add_counter("crypto.ot_invocations", cost.ot_invocations * count)
+        obs.add_counter("crypto.comparisons", count)
         return BatchComparisonResult(left_ge_right=outcomes, cost=cost)
 
     def argmax(self, values: List[int]) -> int:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+from .. import obs
 from ..federation.events import ComputeEvent
 from .stages import PipelineContext, Stage, lumos_stages
 from .store import ArtifactStore, StoredArtifact, default_store
@@ -76,22 +77,27 @@ class Pipeline:
         return {stage.name: context.keys[stage.name] for stage in self.stages}
 
     def _run_stage(self, stage: Stage, context: PipelineContext) -> None:
-        key = stage.key(context)
-        artifact = self.store.get(key)
-        if artifact is not None:
-            self.store.record_hit(stage.name)
-            # A stage may derive a per-run value from the cached one (e.g.
-            # the tree batch re-binds the current run's LDP features); when
-            # replay returns None the cached value is used as-is.
-            replayed = stage.replay(context, artifact.value)
-            self._replay_side_effects(context, artifact)
-            value = artifact.value if replayed is None else replayed
-        else:
-            self.store.record_miss(stage.name)
-            marks = self._ledger_marks(context)
-            value = stage.compute(context)
-            artifact = self._capture(context, value, marks)
-            self.store.put(key, artifact)
+        with obs.span(f"engine.stage.{stage.name}") as trace_span:
+            key = stage.key(context)
+            artifact = self.store.get(key)
+            if artifact is not None:
+                self.store.record_hit(stage.name)
+                trace_span["attributes"]["cache"] = "hit"
+                obs.add_counter(f"engine.stage.{stage.name}.hits")
+                # A stage may derive a per-run value from the cached one (e.g.
+                # the tree batch re-binds the current run's LDP features); when
+                # replay returns None the cached value is used as-is.
+                replayed = stage.replay(context, artifact.value)
+                self._replay_side_effects(context, artifact)
+                value = artifact.value if replayed is None else replayed
+            else:
+                self.store.record_miss(stage.name)
+                trace_span["attributes"]["cache"] = "miss"
+                obs.add_counter(f"engine.stage.{stage.name}.misses")
+                marks = self._ledger_marks(context)
+                value = stage.compute(context)
+                artifact = self._capture(context, value, marks)
+                self.store.put(key, artifact)
         context.artifacts[stage.name] = value
         context.keys[stage.name] = key
 

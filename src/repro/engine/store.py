@@ -25,6 +25,8 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
+
 
 @dataclass
 class StageStats:
@@ -89,6 +91,7 @@ class ArtifactStore:
         while len(self._entries) > self.max_entries:
             evicted_key, evicted = self._entries.popitem(last=False)
             self.evictions += 1
+            obs.add_counter("store.evictions")
             self._on_evict(evicted_key, evicted)
 
     def _on_evict(self, key: str, artifact: StoredArtifact) -> None:
@@ -214,6 +217,7 @@ class DiskSpillStore(ArtifactStore):
         artifact = self._load(path, key)
         if artifact is not None:
             self.spill_loads += 1
+            obs.add_counter("store.spill_loads")
             self.put(key, artifact)
         return artifact
 
@@ -272,6 +276,7 @@ class DiskSpillStore(ArtifactStore):
         while self._total_bytes > self.max_bytes and self._entries:
             key, artifact = self._entries.popitem(last=False)
             self.evictions += 1
+            obs.add_counter("store.evictions")
             self._on_evict(key, artifact)
 
     def _write(self, key: str, artifact: StoredArtifact) -> None:
@@ -308,6 +313,8 @@ class DiskSpillStore(ArtifactStore):
         temporary.replace(path)  # atomic publish for cross-process readers
         self._published.add(key)
         self.spill_writes += 1
+        obs.add_counter("store.spill_writes")
+        obs.add_counter("store.spill_bytes", len(payload_bytes))
 
     def persist(self, key: str) -> bool:
         """Force-publish the entry under ``key`` to disk (without evicting).
@@ -352,6 +359,7 @@ class DiskSpillStore(ArtifactStore):
                 # survive for post-mortem instead of being destroyed.
                 self._published.discard(key)
                 self.integrity_failures += 1
+                obs.add_counter("store.integrity_failures")
                 try:
                     path.replace(path.with_name(f"{path.name}.quarantined"))
                 except OSError:

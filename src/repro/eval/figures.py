@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from . import runner
 from .reporting import (
     cdf_series,
@@ -305,6 +306,17 @@ def figure_robustness(
         results[dataset] = sweep
         if verbose:
             print(f"\n[Robustness] Lumos under unreliable federations — {dataset}")
+            # Runtime retry/backoff provenance per arm (surfaced from
+            # RuntimeReport.failure_attempts via run_robustness_sweep): a
+            # clean run is all "1 attempt"; a flaky one shows its history.
+            retry_parts = [
+                f"{name}: {int(entry['attempts'])} attempt(s), "
+                f"{int(entry['failed_attempts'])} failed"
+                for name, entry in sweep.items()
+                if "attempts" in entry
+            ]
+            if retry_parts:
+                print("runtime attempts — " + "; ".join(retry_parts))
             # The fault_summary columns (skipped updates, evicted straggler
             # device-rounds, dropped bytes) surface the graceful-degradation
             # accounting in the table, not just the raw result dictionaries.
@@ -449,6 +461,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "worker-process pool (results are identical)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker-pool size (implies --executor process)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans and metrics across the whole "
+                             "invocation (all processes) and write a Chrome "
+                             "trace-event JSON loadable in Perfetto")
     args = parser.parse_args(argv)
     if args.workers is not None:
         args.executor = "process"
@@ -456,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = _scale_from_name(args.scale)
     selected = sorted(FIGURES) if args.figure == "all" else [args.figure]
     collected = {}
+    tracer = obs.Tracer() if args.trace else None
     with tempfile.TemporaryDirectory(prefix="repro-figures-") as spill_dir:
         if args.executor == "process":
             # One spill directory for the whole invocation, so every run_*
@@ -467,11 +484,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             executor = ProcessExecutor(max_workers=args.workers, spill_dir=spill_dir)
         else:
             executor = runner.resolve_executor(args.executor, args.workers)
-        for name in selected:
-            collected[name] = FIGURES[name](scale=scale, executor=executor)
+        with obs.tracing(tracer=tracer) if tracer else _null_context():
+            for name in selected:
+                collected[name] = FIGURES[name](scale=scale, executor=executor)
     if args.as_json:
         print(json.dumps(_to_jsonable(collected), indent=2))
+    if tracer is not None:
+        trace = obs.RunTrace.from_tracer(tracer)
+        path = obs.write_chrome_trace(trace, args.trace)
+        print(f"\ntrace written to {path} (load in https://ui.perfetto.dev)")
+        print(obs.summary_table(trace))
     return 0
+
+
+def _null_context():
+    from contextlib import nullcontext
+
+    return nullcontext()
 
 
 def _to_jsonable(value):

@@ -27,11 +27,13 @@ from the executor's shared spill store.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from ..baselines import (
     train_centralized_supervised,
     train_centralized_unsupervised,
@@ -60,6 +62,21 @@ from .metrics import relative_change
 #: name, an :class:`~repro.runtime.executor.Executor` instance, or a
 #: recorded preference (``config.runtime``).
 ExecutorArg = Union[str, Executor, RuntimeConfig, None]
+
+
+def _traced_entry(fn):
+    """Wrap an experiment entry point in a ``runner.<name>`` span.
+
+    A no-op (one ``None`` check) unless a tracer is active, so the decorator
+    is invisible to untraced callers — see the contract in :mod:`repro.obs`.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with obs.span(f"runner.{fn.__name__}"):
+            return fn(*args, **kwargs)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -164,6 +181,7 @@ def _comparison_parallel(
     return {method: report.records[key].value for method, key in keys.items()}
 
 
+@_traced_entry
 def run_supervised_comparison(
     dataset: str,
     backbone: str = "gcn",
@@ -202,6 +220,7 @@ def run_supervised_comparison(
 # --------------------------------------------------------------------------- #
 # Fig. 4 — unsupervised (link prediction) comparison
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_unsupervised_comparison(
     dataset: str,
     backbone: str = "gcn",
@@ -236,6 +255,7 @@ def run_unsupervised_comparison(
 # --------------------------------------------------------------------------- #
 # Fig. 5 — sensitivity to the privacy budget
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_epsilon_sweep(
     dataset: str,
     task: str = "supervised",
@@ -300,6 +320,7 @@ def run_epsilon_sweep(
 # --------------------------------------------------------------------------- #
 # Fig. 6 — ablation of virtual nodes and tree trimming (accuracy side)
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_ablation(
     dataset: str,
     task: str = "supervised",
@@ -352,6 +373,7 @@ def run_ablation(
 # --------------------------------------------------------------------------- #
 # Robustness — accuracy/system metrics under unreliable federations
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_robustness_sweep(
     dataset: str,
     scenarios: Optional[Dict[str, FaultScenarioConfig]] = None,
@@ -412,12 +434,23 @@ def run_robustness_sweep(
         entry["accuracy_vs_baseline_percent"] = relative_change(
             baseline_accuracy, entry["test_accuracy"]
         )
+    # Surface the runtime's retry/backoff provenance per arm.  On the serial
+    # path (and any clean process run) these are exactly 1.0 / 0.0, so the
+    # serial-vs-process bit-identity contract extends to them; a chaotic or
+    # flaky run shows its attempt history right in the sweep results.
+    for name, key in keys.items():
+        record = report.records[key]
+        results[name]["attempts"] = float(record.attempts)
+        results[name]["failed_attempts"] = float(
+            len(report.failure_attempts.get(key, ()))
+        )
     return results
 
 
 # --------------------------------------------------------------------------- #
 # Churn maintenance — delta-maintained tree vs rebuild, under joins/leaves
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_churn_maintenance(
     dataset: str = "facebook",
     scenario: Optional[FaultScenarioConfig] = None,
@@ -477,6 +510,7 @@ def run_churn_maintenance(
 # --------------------------------------------------------------------------- #
 # Fig. 7 — workload CDF with / without tree trimming
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_workload_analysis(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
@@ -520,6 +554,7 @@ def run_workload_analysis(
 # --------------------------------------------------------------------------- #
 # Fig. 8 — system cost (communication rounds and epoch time)
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_system_cost(
     dataset: str,
     scale: ExperimentScale = ExperimentScale(),
@@ -565,6 +600,7 @@ def run_system_cost(
 # --------------------------------------------------------------------------- #
 # Headline claims (abstract / introduction)
 # --------------------------------------------------------------------------- #
+@_traced_entry
 def run_headline_summary(
     dataset: str = "facebook",
     backbone: str = "gcn",

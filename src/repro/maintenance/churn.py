@@ -296,4 +296,23 @@ def churn_maintenance_metrics(
         metrics["max_staleness"] = summary["max_staleness"]
         metrics["mean_staleness"] = summary["mean_staleness"]
         metrics["final_staleness"] = summary["final_staleness"]
+        # Escalation breakdown per action and the snapshot store's traffic
+        # counters.  All deterministic (counts of deterministic events), so
+        # the serial/process bit-identity contract extends to them.
+        for action in ("none", "rebalance", "rebuild"):
+            metrics[f"escalations_{action}"] = float(
+                sum(1 for report in monitor.reports if report.action == action)
+            )
+        store_stats = snapshots.stats()
+        for name in (
+            "entries",
+            "hits",
+            "misses",
+            "evictions",
+            "spill_writes",
+            "spill_loads",
+            "integrity_failures",
+            "in_memory_bytes",
+        ):
+            metrics[f"snapshot_store_{name}"] = float(store_stats[name])
     return metrics

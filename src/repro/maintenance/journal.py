@@ -32,9 +32,12 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
+
+from .. import obs
 
 __all__ = ["MutationJournal", "read_records"]
 
@@ -128,9 +131,19 @@ class MutationJournal:
     # ------------------------------------------------------------------ #
     def append(self, record: Dict[str, Any]) -> None:
         """Durably append one record (write + flush + fsync)."""
-        self._file.write(_frame(record))
+        frame = _frame(record)
+        if obs.current_tracer() is None:
+            self._file.write(frame)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            return
+        started = time.perf_counter()
+        self._file.write(frame)
         self._file.flush()
         os.fsync(self._file.fileno())
+        obs.add_counter("maintenance.journal_appends")
+        obs.add_counter("maintenance.journal_bytes", len(frame))
+        obs.observe("maintenance.fsync_seconds", time.perf_counter() - started)
 
     def append_torn(self, record: Dict[str, Any], keep_bytes: Optional[int] = None) -> None:
         """Write a deliberately *incomplete* frame (crash injection).

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import obs
 from ..core.trainer import EpochCostModel
 from ..core.workload import Assignment
 from .tree import MaintainedTree, fresh_assignment
@@ -132,6 +133,8 @@ class StalenessMonitor:
             post_staleness=post_staleness,
         )
         self.reports.append(report)
+        obs.add_counter(f"maintenance.escalations.{action}")
+        obs.set_gauge("maintenance.staleness", float(post_staleness))
         return report
 
     def summary(self) -> Dict[str, float]:

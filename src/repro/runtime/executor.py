@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from .. import obs as observability
 from ..core.config import RuntimeConfig
 from ..engine.store import ArtifactStore
 from .items import WorkItem, execute_item
@@ -105,6 +106,10 @@ class ItemRecord:
     attempts: int = 1
     worker: Optional[int] = None
     duration: float = 0.0
+    #: Worker-side observability snapshot (spans + metrics), present only
+    #: when the run was traced.  Scheduling metadata like ``attempts`` —
+    #: excluded from every equivalence notion.
+    obs: Optional[dict] = None
 
     @classmethod
     def from_payload(cls, item: WorkItem, payload: dict, **metadata) -> "ItemRecord":
@@ -117,6 +122,7 @@ class ItemRecord:
             ledger_records=payload["ledger_records"],
             accountant=payload["accountant"],
             rng_state=payload["rng_state"],
+            obs=payload.get("obs"),
             **metadata,
         )
 
@@ -189,7 +195,11 @@ class SerialExecutor(Executor):
         started = time.perf_counter()
         for item in plan.unique_items():
             item_started = time.perf_counter()
-            payload = execute_item(item, store)
+            with observability.span(
+                "runtime.item", label=item.label or type(item).__name__
+            ):
+                payload = execute_item(item, store)
+            observability.add_counter("runtime.dispatches")
             report.records[item.key()] = ItemRecord.from_payload(
                 item, payload, duration=time.perf_counter() - item_started
             )
@@ -283,12 +293,23 @@ class ProcessExecutor(Executor):
             cleanup = tempfile.TemporaryDirectory(prefix="repro-runtime-")
             directory = cleanup.name
         try:
-            store = open_worker_store(directory, self.store_bytes)
-            warm_started = time.perf_counter()
-            report.stats["warmup_runs"] = self._warm_shared_prefix(items, store)
-            report.stats["warmup_seconds"] = time.perf_counter() - warm_started
-            self._run_pool(items, directory, store, report)
-            report.stats["store"] = store.stats()
+            with observability.span("runtime.execute", items=len(items)):
+                store = open_worker_store(directory, self.store_bytes)
+                warm_started = time.perf_counter()
+                with observability.span("runtime.warmup"):
+                    report.stats["warmup_runs"] = self._warm_shared_prefix(items, store)
+                report.stats["warmup_seconds"] = time.perf_counter() - warm_started
+                self._run_pool(items, directory, store, report)
+                report.stats["store"] = store.stats()
+            tracer = observability.current_tracer()
+            if tracer is not None:
+                # Merge worker snapshots in plan-request order — the one
+                # order every scheduler interleaving agrees on — so the
+                # assembled RunTrace is deterministic.
+                for item in items:
+                    record = report.records.get(item.key())
+                    if record is not None:
+                        tracer.attach_remote(record.obs)
         finally:
             if cleanup is not None:
                 cleanup.cleanup()
@@ -350,17 +371,20 @@ class ProcessExecutor(Executor):
         respawns = 0
         next_ticket = 0
         max_respawns = max(4, 2 * (self.retries + 1) * len(items))
+        trace_workers = observability.current_tracer() is not None
 
         def spawn(worker_id: int) -> None:
             task_queues[worker_id] = context.Queue()
             process = context.Process(
                 target=worker_main,
                 args=(worker_id, task_queues[worker_id], result_queue,
-                      directory, self.store_bytes, self.chaos),
+                      directory, self.store_bytes, self.chaos, trace_workers),
                 daemon=True,
             )
             process.start()
             workers[worker_id] = process
+            observability.add_counter("runtime.spawns")
+            observability.set_gauge("runtime.workers", float(len(workers)))
 
         def dispatch(worker_id: int) -> None:
             nonlocal next_ticket
@@ -372,6 +396,8 @@ class ProcessExecutor(Executor):
             next_ticket += 1
             task_queues[worker_id].put((next_ticket, item, attempts[key]))
             inflight[worker_id] = (next_ticket, item, time.perf_counter(), deadline)
+            observability.add_counter("runtime.dispatches")
+            observability.observe("runtime.queue_depth", float(len(pending)))
 
         def give_up_or_retry(
             item: WorkItem, kind: str, reason: str, worker_id: Optional[int]
@@ -381,11 +407,14 @@ class ProcessExecutor(Executor):
             attempt_failures.setdefault(key, []).append(
                 FailedAttempt(attempt=attempt, worker=worker_id, kind=kind, reason=reason)
             )
+            observability.add_counter(f"runtime.attempt_failures.{kind}")
             if attempt <= self.retries:
                 report.stats["retries_used"] += 1
+                observability.add_counter("runtime.retries")
                 delay = backoff_delay(self.backoff_seed, key, attempt, self.backoff_base)
                 if delay > 0.0:
                     report.stats["backoff_seconds"] += delay
+                    observability.add_counter("runtime.backoff_seconds", delay)
                     deferred.append((time.monotonic() + delay, item))
                 else:
                     pending.appendleft(item)
@@ -455,6 +484,7 @@ class ProcessExecutor(Executor):
                             # The worker acknowledged but the payload never
                             # became readable — treat like a crash.
                             report.stats["crashes"] += 1
+                            observability.add_counter("runtime.crashes")
                             give_up_or_retry(
                                 item,
                                 "missing-result",
@@ -500,6 +530,7 @@ class ProcessExecutor(Executor):
                             item = entry[1]
                             del inflight[worker_id]
                             report.stats["crashes"] += 1
+                            observability.add_counter("runtime.crashes")
                             give_up_or_retry(
                                 item,
                                 "crash",
@@ -512,6 +543,7 @@ class ProcessExecutor(Executor):
                         del inflight[worker_id]
                         reap(worker_id, kill=True)
                         report.stats["timeouts"] += 1
+                        observability.add_counter("runtime.timeouts")
                         give_up_or_retry(
                             item,
                             "timeout",

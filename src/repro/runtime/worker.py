@@ -28,6 +28,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..engine.store import ArtifactStore, DiskSpillStore, StoredArtifact
 from .items import WorkItem, execute_item
 
@@ -119,8 +120,22 @@ def worker_main(
     spill_directory: Optional[str],
     store_bytes: int,
     chaos: Optional[ChaosConfig] = None,
+    trace: bool = False,
 ) -> None:
-    """Serve work items until the ``None`` sentinel arrives."""
+    """Serve work items until the ``None`` sentinel arrives.
+
+    With ``trace`` set, each item runs under a fresh per-item
+    :class:`~repro.obs.tracer.Tracer` whose snapshot rides back inside the
+    result payload under the ``"obs"`` key — the scheduler strips it into
+    :attr:`~repro.runtime.executor.ItemRecord.obs` and merges snapshots in
+    plan-request order.  Untraced payloads carry no ``"obs"`` key at all,
+    so traced-off runs stay byte-identical to a never-instrumented build.
+    """
+    # A forked worker inherits the parent's module globals — including any
+    # active tracer.  Observability is strictly opt-in per item below, so
+    # clear the ambient slot first; parent-side spans must never leak into
+    # (or double-count within) worker snapshots.
+    obs.set_tracer(None)
     store = open_worker_store(spill_directory, store_bytes)
     while True:
         task = task_queue.get()
@@ -136,7 +151,18 @@ def worker_main(
                 os._exit(86)
             elif action == "stall":
                 time.sleep(chaos.stall_seconds)
-            payload = execute_item(item, store)
+            if trace:
+                with obs.tracing(process=f"worker-{worker_id}") as tracer:
+                    with obs.span(
+                        "runtime.item",
+                        label=item.label or type(item).__name__,
+                        attempt=attempt,
+                    ):
+                        payload = execute_item(item, store)
+                payload = dict(payload)
+                payload["obs"] = tracer.snapshot()
+            else:
+                payload = execute_item(item, store)
             publish_result(store, key, payload)
             result_queue.put((DONE, worker_id, ticket, key, None))
         except BaseException:
