@@ -130,6 +130,25 @@ def main() -> None:
           f"over {int(churn['staleness_checks'])} checks")
     print(f"journal replay == live: {bool(churn['replay_matches_live'])}")
 
+    # Secure comparisons can also run as *two real OS processes* over a
+    # CRC-checked framed channel (repro.crypto.transport): the driver keeps
+    # results, accountant, ledger transcript and RNG stream bit-for-bit
+    # identical to the in-process simulation above, while the bytes on the
+    # wire are measured and reconciled exactly against the analytic
+    # comparison_cost() model (the session raises MeasuredCostMismatch on
+    # any divergence).  Benchmark it with: repro-bench --only secure_transport
+    from repro.crypto import RemoteParty
+
+    driver = RemoteParty(bit_width=16)
+    driver.precompute_pads(64)  # OT-extension-style bulk pad draw
+    outcome = driver.compare_batch([7, 200, 41], [9, 100, 41])
+    print("\n=== Two-party secure comparison over real transport ===")
+    print(f"left >= right:          {[bool(bit) for bit in outcome.left_ge_right]}")
+    print(f"measured wire payload:  {outcome.report.protocol_payload_bytes} B "
+          f"(analytic model: {outcome.report.analytic_payload_bytes} B)")
+    print(f"frames on the wire:     {outcome.report.frames} "
+          f"({outcome.report.wire_bytes} B incl. headers + session control)")
+
     # Every layer is instrumented with zero-dependency spans and counters
     # (repro.obs).  Tracing is invisible to the computation — results,
     # ledger, accountant and RNG state are bit-for-bit identical with the

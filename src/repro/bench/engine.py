@@ -105,6 +105,7 @@ TRACKED_SPEEDUPS = (
     "mcmc_balancing",
     "greedy_initialization",
     "secure_construction",
+    "secure_transport",
     "epsilon_sweep",
     "parallel_sweep",
     "robustness_sweep",
@@ -391,6 +392,90 @@ def bench_secure_construction(graph, args) -> dict:
         "batched_seconds": fast,
         "reference_seconds": slow,
         "speedup": slow / fast if fast else float("nan"),
+    }
+
+
+def bench_secure_transport(graph, args) -> dict:
+    """Measured two-party execution: one bulk session vs chunked round-trips.
+
+    Runs a comparison batch through :class:`repro.crypto.RemoteParty` — the
+    parties in separate processes over a real
+    :class:`~repro.runtime.channel.PartyChannel` — and records the bytes
+    that actually crossed the wire next to the analytic
+    :func:`~repro.crypto.secure_compare.comparison_cost` total (the driver
+    itself raises if the protocol frames diverge from the model, so a
+    recorded section is also a passed contract check).  The tracked speedup
+    is *bulk vs chunked*: the same comparisons split over many small
+    sessions pay per-session process spawn and handshake once per chunk,
+    which is exactly the amortisation the OT-extension-style pad
+    precomputation and batched framing exist to buy.  Before timing, the
+    bulk outcome is asserted bit-for-bit equivalent to the in-process
+    ``execute=True`` kernel (results, accountant counters and log, RNG
+    stream state).
+    """
+    from repro.crypto import RemoteParty, SecureComparator, TranscriptAccountant
+
+    bit_width = 32
+    count = max(32, graph.num_nodes)
+    chunks = 8
+    operand_rng = np.random.default_rng(7)
+    left = operand_rng.integers(0, 1 << bit_width, size=count, dtype=np.uint64)
+    right = operand_rng.integers(0, 1 << bit_width, size=count, dtype=np.uint64)
+
+    # Equivalence gate: the wire path must be indistinguishable from the
+    # in-process simulation in every recorded observable.
+    rng_local, rng_remote = np.random.default_rng(11), np.random.default_rng(11)
+    acc_local, acc_remote = TranscriptAccountant(), TranscriptAccountant()
+    local = SecureComparator(
+        bit_width=bit_width, accountant=acc_local, rng=rng_local
+    ).compare_batch(left, right, execute=True)
+    driver = RemoteParty(bit_width=bit_width, accountant=acc_remote, rng=rng_remote)
+    remote = driver.compare_batch(left, right, session_key="bench-equivalence")
+    if (
+        not np.array_equal(local.left_ge_right, remote.left_ge_right)
+        or acc_local.snapshot() != acc_remote.snapshot()
+        or acc_local._log != acc_remote._log
+        or rng_local.bit_generator.state != rng_remote.bit_generator.state
+    ):
+        raise AssertionError(
+            "two-party execution diverged from the in-process simulation: "
+            f"{acc_local.snapshot()} != {acc_remote.snapshot()}"
+        )
+    report = remote.report
+
+    def bulk() -> float:
+        session_driver = RemoteParty(bit_width=bit_width)
+        start = time.perf_counter()
+        session_driver.compare_batch(left, right, session_key="bench-bulk")
+        return time.perf_counter() - start
+
+    def chunked() -> float:
+        session_driver = RemoteParty(bit_width=bit_width)
+        bounds = np.linspace(0, count, chunks + 1, dtype=int)
+        start = time.perf_counter()
+        for index in range(chunks):
+            low, high = int(bounds[index]), int(bounds[index + 1])
+            if high > low:
+                session_driver.compare_batch(
+                    left[low:high], right[low:high],
+                    session_key=f"bench-chunk-{index}",
+                )
+        return time.perf_counter() - start
+
+    bulk_seconds = _best(bulk, args.repeat)
+    chunked_seconds = _best(chunked, args.repeat)
+    return {
+        "comparisons": count,
+        "bit_width": bit_width,
+        "chunks": chunks,
+        "cpu_count": os.cpu_count(),
+        "bulk_seconds": bulk_seconds,
+        "chunked_seconds": chunked_seconds,
+        "speedup": chunked_seconds / bulk_seconds if bulk_seconds else float("nan"),
+        "protocol_payload_bytes": report.protocol_payload_bytes,
+        "analytic_payload_bytes": report.analytic_payload_bytes,
+        "wire_bytes": report.wire_bytes,
+        "frames": report.frames,
     }
 
 
@@ -1073,19 +1158,28 @@ def check_trajectory(payload: dict, previous_path: Path) -> list:
     for section in TRACKED_SPEEDUPS:
         previous_section = previous.get(section, {})
         measured_section = payload.get(section, {})
-        if previous_section.get("cpu_count") != measured_section.get("cpu_count"):
-            # Sections that record a cpu_count (parallel_sweep) measure a
-            # ratio the core count determines; a trajectory recorded on a
-            # different machine class is not comparable.  (Sections without
-            # the field compare None == None and are unaffected.)
-            print(f"[bench_engine] {section}: cpu_count differs from the "
-                  "recorded trajectory; skipping its regression check",
-                  file=sys.stderr)
-            continue
         recorded = previous_section.get("speedup")
         measured = measured_section.get("speedup")
         if recorded is None or measured is None:
             continue
+        recorded_cpus = previous_section.get("cpu_count")
+        measured_cpus = measured_section.get("cpu_count")
+        if recorded_cpus is not None or measured_cpus is not None:
+            # Sections that record a cpu_count (parallel_sweep,
+            # secure_transport) measure a ratio the core count determines; a
+            # trajectory recorded on a different machine class is not
+            # comparable.  Both sides are checked against the *current*
+            # box — a partial ``--only`` merge can carry a stale section
+            # recorded elsewhere, and comparing such a number against a
+            # fresh one is still apples to oranges even when the two stored
+            # fields happen to agree.  (Sections without the field skip
+            # this guard entirely.)
+            current_cpus = os.cpu_count()
+            if recorded_cpus != current_cpus or measured_cpus != current_cpus:
+                print(f"[bench_engine] {section}: cpu_count differs from the "
+                      "current machine; skipping its regression check",
+                      file=sys.stderr)
+                continue
         floor = recorded * (1.0 - REGRESSION_TOLERANCE)
         if measured < floor:
             regressions.append(
@@ -1207,6 +1301,20 @@ def main(argv=None, default_output: Optional[Path] = None) -> int:
               f"{secure['batched_seconds'] * 1e3:.1f} ms vs reference "
               f"{secure['reference_seconds'] * 1e3:.1f} ms "
               f"({secure['speedup']:.1f}x)")
+    if "secure_transport" in selected:
+        transport = sections["secure_transport"] = _observed(
+            "secure_transport", bench_secure_transport, graph, args
+        )
+        print(f"[bench_engine] secure transport ({transport['comparisons']} "
+              f"comparisons, 2 processes): bulk session "
+              f"{transport['bulk_seconds'] * 1e3:.1f} ms vs "
+              f"{transport['chunks']} chunked sessions "
+              f"{transport['chunked_seconds'] * 1e3:.1f} ms "
+              f"({transport['speedup']:.2f}x); measured "
+              f"{transport['protocol_payload_bytes']} B on-protocol == "
+              f"analytic {transport['analytic_payload_bytes']} B "
+              f"({transport['wire_bytes']} B wire, "
+              f"{transport['frames']} frames)")
     if "epsilon_sweep" in selected:
         sweep = sections["epsilon_sweep"] = _observed(
             "epsilon_sweep", bench_epsilon_sweep, graph, split, args

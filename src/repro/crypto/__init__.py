@@ -14,7 +14,17 @@ from .secure_compare import (
     ComparisonResult,
     SecureComparator,
     comparison_cost,
+    operand_array,
     secure_max_index,
+)
+from .transport import (
+    MeasuredCostMismatch,
+    RemoteComparisonOutcome,
+    RemoteOTOutcome,
+    RemoteParty,
+    RemotePartyError,
+    TransportReport,
+    chaos_comparison_probe,
 )
 from .zero_knowledge import (
     DegreeComparisonOutcome,
@@ -39,7 +49,15 @@ __all__ = [
     "ComparisonCost",
     "BatchComparisonResult",
     "comparison_cost",
+    "operand_array",
     "secure_max_index",
+    "MeasuredCostMismatch",
+    "RemoteComparisonOutcome",
+    "RemoteOTOutcome",
+    "RemoteParty",
+    "RemotePartyError",
+    "TransportReport",
+    "chaos_comparison_probe",
     "DegreeComparisonProtocol",
     "DegreeComparisonOutcome",
     "WorkloadComparisonProtocol",

@@ -114,6 +114,13 @@ class OTResult:
     message_bits: int
 
 
+#: Widths whose modulus ``2**bits`` no longer fits numpy's default int64
+#: bounded-integer draw (``integers(high)`` accepts an exclusive bound up to
+#: ``2**63``, so 63-bit pads still work on the historical path; 64-bit is the
+#: first width that needs the explicit uint64 draw).
+_WIDE_PAD_BITS = 64
+
+
 class ObliviousTransfer:
     """Simulated semi-honest 1-out-of-2 OT with XOR one-time pads."""
 
@@ -124,6 +131,91 @@ class ObliviousTransfer:
     ) -> None:
         self.accountant = accountant if accountant is not None else TranscriptAccountant()
         self._rng = rng if rng is not None else np.random.default_rng()
+        #: Precomputed pad blocks per message width (OT-extension-style):
+        #: ``message_bits -> (block, cursor)`` where ``block`` is an
+        #: ``(n, 2)`` array drawn by :meth:`precompute_pads` and ``cursor``
+        #: counts consumed rows.  See the stream contract on that method.
+        self._pad_pools: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Pad generation (the only RNG touchpoint of the OT simulation)
+    # ------------------------------------------------------------------ #
+    def _draw_pad_block(self, count: int, message_bits: int) -> np.ndarray:
+        """Draw ``(count, 2)`` one-time pads for ``message_bits``-bit messages.
+
+        Widths up to 63 use the historical default-dtype (int64) draw, so
+        every previously pinned stream stays bit-for-bit unchanged; wider
+        widths (whose modulus exceeds the int64 bound) switch to an explicit
+        uint64 draw.  Numpy fills bounded-integer blocks from the bit stream
+        in C order with the same per-value algorithm as scalar draws of the
+        same dtype, so an ``(n, 2)`` block is interchangeable with ``2 * n``
+        scalar draws — the property every stream contract here relies on.
+        """
+        if message_bits >= _WIDE_PAD_BITS:
+            return self._rng.integers(
+                0, (1 << message_bits) - 1, size=(count, 2),
+                dtype=np.uint64, endpoint=True,
+            )
+        return self._rng.integers(1 << message_bits, size=(count, 2))
+
+    def precompute_pads(self, count: int, message_bits: int = 32) -> int:
+        """Precompute ``count`` OT pad pairs in one bulk block draw.
+
+        OT-extension-style amortisation: a two-party deployment draws the
+        whole batch's masking material up front so per-transfer latency is
+        transport, not pad generation.  Subsequent :meth:`transfer` /
+        :meth:`transfer_batch` calls of the same ``message_bits`` consume the
+        pool row by row before drawing live.
+
+        **RNG block-draw contract**: consumes exactly the ``(count, 2)``
+        block the pooled transfers would otherwise have drawn at call time —
+        pad values, consumption order and the generator's final state are all
+        bit-for-bit identical to the pool-free path (pinned by
+        ``tests/test_secure_transport.py`` via
+        ``tests/helpers/rng_contract.py``).  Pools of different widths are
+        independent; re-precomputing appends to the unconsumed remainder.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        block = self._draw_pad_block(count, message_bits)
+        existing = self._pad_pools.get(message_bits)
+        if existing is not None:
+            remainder, cursor = existing
+            block = np.concatenate([remainder[cursor:], block], axis=0)
+        self._pad_pools[message_bits] = (block, 0)
+        return int(block.shape[0])
+
+    def pooled_pads(self, message_bits: int = 32) -> int:
+        """Number of precomputed pad pairs currently available at this width."""
+        entry = self._pad_pools.get(message_bits)
+        if entry is None:
+            return 0
+        block, cursor = entry
+        return int(block.shape[0]) - cursor
+
+    def _take_pads(self, count: int, message_bits: int) -> np.ndarray:
+        """Return ``(count, 2)`` pads: pool rows first, then a live draw.
+
+        Values and stream consumption are identical to a pool-free run: the
+        pool rows *are* the values the live draw would have produced (just
+        drawn earlier, in the same order), and the remainder continues the
+        stream exactly where the pool block left it.
+        """
+        entry = self._pad_pools.get(message_bits)
+        if entry is None:
+            return self._draw_pad_block(count, message_bits)
+        block, cursor = entry
+        available = block.shape[0] - cursor
+        if available >= count:
+            taken = block[cursor:cursor + count]
+            if cursor + count == block.shape[0]:
+                self._pad_pools.pop(message_bits)
+            else:
+                self._pad_pools[message_bits] = (block, cursor + count)
+            return taken
+        self._pad_pools.pop(message_bits)
+        fresh = self._draw_pad_block(count - available, message_bits)
+        return np.concatenate([block[cursor:], fresh], axis=0)
 
     def transfer(self, message_zero: int, message_one: int, choice: int, message_bits: int = 32) -> OTResult:
         """Run one OT: the receiver with ``choice`` learns exactly one message.
@@ -147,9 +239,17 @@ class ObliviousTransfer:
 
         # Sender masks both messages with independent one-time pads; the
         # receiver obtains only the pad of its chosen index (this is the step
-        # a real protocol realises with public-key base OTs).
-        pad_zero = int(self._rng.integers(modulus))
-        pad_one = int(self._rng.integers(modulus))
+        # a real protocol realises with public-key base OTs).  Narrow widths
+        # keep the historical two-scalar draw (stream-compatible with every
+        # pinned transcript); wide widths and pooled pads go through the
+        # block path, which consumes the stream identically.
+        pool = self._pad_pools.get(message_bits)
+        if pool is not None or message_bits >= _WIDE_PAD_BITS:
+            pads = self._take_pads(1, message_bits)
+            pad_zero, pad_one = int(pads[0, 0]), int(pads[0, 1])
+        else:
+            pad_zero = int(self._rng.integers(modulus))
+            pad_one = int(self._rng.integers(modulus))
         masked = (message_zero ^ pad_zero, message_one ^ pad_one)
         chosen_pad = pad_one if choice else pad_zero
         self.accountant.record_ot(message_bits)
@@ -168,14 +268,19 @@ class ObliviousTransfer:
 
         **RNG block-draw contract**: consumes exactly ``2 * n`` values from
         the shared generator via one ``integers(modulus, size=(n, 2))`` block
-        draw.  Numpy fills bounded-integer blocks from the bit stream in
-        C order with the same per-value algorithm as scalar draws, so the
-        stream is left bit-for-bit where ``n`` scalar :meth:`transfer` calls
+        draw (uint64 dtype for ``message_bits=64``, whose modulus exceeds
+        the int64 bound — see :meth:`_draw_pad_block`).  Numpy fills
+        bounded-integer blocks from the bit stream in C order with the same
+        per-value algorithm as scalar draws of the same dtype, so the stream
+        is left bit-for-bit where ``n`` scalar :meth:`transfer` calls
         (pad_zero then pad_one, per position) would leave it — pinned by
-        ``tests/helpers/rng_contract.py``.
+        ``tests/helpers/rng_contract.py``.  Pads precomputed via
+        :meth:`precompute_pads` are consumed first, with identical values
+        and final stream state.
         """
-        messages_zero = np.asarray(messages_zero, dtype=np.int64)
-        messages_one = np.asarray(messages_one, dtype=np.int64)
+        wide = message_bits >= _WIDE_PAD_BITS
+        messages_zero = self._operand_array(messages_zero, "message_zero", message_bits)
+        messages_one = self._operand_array(messages_one, "message_one", message_bits)
         choices = np.asarray(choices, dtype=np.int64)
         if (
             messages_zero.ndim != 1
@@ -185,25 +290,42 @@ class ObliviousTransfer:
             raise ValueError("transfer_batch expects three 1-D arrays of equal length")
         if choices.size and not np.isin(choices, (0, 1)).all():
             raise ValueError("choice must be 0 or 1")
-        modulus = 1 << message_bits
-        for name, messages in (
-            ("message_zero", messages_zero),
-            ("message_one", messages_one),
-        ):
-            if messages.size and not (
-                0 <= int(messages.min()) and int(messages.max()) < modulus
-            ):
-                raise ValueError(f"{name} must lie in [0, 2^{message_bits})")
         count = int(choices.shape[0])
         if count == 0:
-            return np.zeros(0, dtype=np.int64)
-        pads = self._rng.integers(modulus, size=(count, 2))
+            return np.zeros(0, dtype=np.uint64 if wide else np.int64)
+        pads = self._take_pads(count, message_bits)
         masked = np.stack([messages_zero ^ pads[:, 0], messages_one ^ pads[:, 1]], axis=1)
         rows = np.arange(count)
         chosen = masked[rows, choices] ^ pads[rows, choices]
         self.accountant.ot_invocations += count
         self.accountant.record_pattern((("ot", 2 * message_bits + 128),), count)
         return chosen
+
+    @staticmethod
+    def _operand_array(values, name: str, message_bits: int) -> np.ndarray:
+        """Validate a batch operand against ``[0, 2**message_bits)``.
+
+        Mirrors ``SecureComparator._operand_array``: int64 is the historical
+        dtype for widths below 64 (so narrow-path XOR results keep their
+        int64 dtype), while 64-bit operands — legal up to ``2**64 - 1`` —
+        need the unsigned widening to avoid an int64 ``OverflowError``.
+        """
+        array = np.asarray(values)
+        if array.dtype != np.uint64:
+            try:
+                array = np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                # Python ints above 2**63 - 1 only fit uint64; genuinely
+                # negative inputs still raise here rather than wrapping.
+                array = np.asarray(values, dtype=np.uint64)
+        if array.size:
+            if array.dtype != np.uint64 and int(array.min()) < 0:
+                raise ValueError(f"{name} must lie in [0, 2^{message_bits})")
+            if message_bits < 64 and int(array.max()) >= (1 << message_bits):
+                raise ValueError(f"{name} must lie in [0, 2^{message_bits})")
+        if message_bits >= _WIDE_PAD_BITS:
+            return array.astype(np.uint64, copy=False)
+        return array.astype(np.int64, copy=False)
 
     def transfer_table(self, table: Tuple[int, ...], choice: int, message_bits: int = 32) -> int:
         """1-out-of-N OT built from a direct table lookup with N-message cost.

@@ -86,6 +86,32 @@ def comparison_cost(
     )
 
 
+def operand_array(values, name: str, bit_width: int) -> np.ndarray:
+    """Validate a batch operand and return it as uint64 (protocol dtype).
+
+    uint64 is what lets ``bit_width=64`` operands (up to ``2**64 - 1``)
+    flow through the batch kernels; int64 inputs are range-checked before
+    the widening cast so negatives fail loudly instead of wrapping.  Shared
+    by the in-process :class:`SecureComparator` and the two-party transport
+    driver (:mod:`repro.crypto.transport`) so both paths accept exactly the
+    same operands.
+    """
+    array = np.asarray(values)
+    if array.dtype != np.uint64:
+        try:
+            array = np.asarray(values, dtype=np.int64)
+        except OverflowError:
+            # Python ints above 2**63 - 1 (legal under bit_width=64)
+            # only fit the unsigned dtype; negatives raise here too.
+            array = np.asarray(values, dtype=np.uint64)
+    if array.size:
+        if array.dtype != np.uint64 and int(array.min()) < 0:
+            raise ValueError(f"{name} must be non-negative")
+        if bit_width < 64 and int(array.max()) >= (1 << bit_width):
+            raise ValueError(f"{name} does not fit in {bit_width} bits")
+    return array.astype(np.uint64, copy=False)
+
+
 @dataclass(frozen=True)
 class BatchComparisonResult:
     """Public outcome of a batch of independent secure comparisons."""
@@ -244,26 +270,8 @@ class SecureComparator:
             raise ValueError(f"{name} does not fit in {self.bit_width} bits")
 
     def _operand_array(self, values, name: str) -> np.ndarray:
-        """Validate a batch operand and return it as uint64 (protocol dtype).
-
-        uint64 is what lets ``bit_width=64`` operands (up to ``2**64 - 1``)
-        flow through the batch kernels; int64 inputs are range-checked before
-        the widening cast so negatives fail loudly instead of wrapping.
-        """
-        array = np.asarray(values)
-        if array.dtype != np.uint64:
-            try:
-                array = np.asarray(values, dtype=np.int64)
-            except OverflowError:
-                # Python ints above 2**63 - 1 (legal under bit_width=64)
-                # only fit the unsigned dtype; negatives raise here too.
-                array = np.asarray(values, dtype=np.uint64)
-        if array.size:
-            if array.dtype != np.uint64 and int(array.min()) < 0:
-                raise ValueError(f"{name} must be non-negative")
-            if self.bit_width < 64 and int(array.max()) >= (1 << self.bit_width):
-                raise ValueError(f"{name} does not fit in {self.bit_width} bits")
-        return array.astype(np.uint64, copy=False)
+        """Validate a batch operand (see :func:`operand_array`)."""
+        return operand_array(values, name, self.bit_width)
 
     def _blocks(self, value: int) -> List[int]:
         """Split ``value`` into big-endian 4-bit blocks."""

@@ -1,7 +1,15 @@
 """Federated runtime simulator: devices, server, communication accounting."""
 
 from .device import Device, build_devices
-from .events import SERVER_ID, BulkComputeEvent, BulkMessageEvent, ComputeEvent, Message, MessageKind
+from .events import (
+    SERVER_ID,
+    BulkComputeEvent,
+    BulkMessageEvent,
+    ComputeEvent,
+    Message,
+    MessageKind,
+    TransportFrame,
+)
 from .network import CommunicationLedger
 from .server import Server
 from .simulator import FederatedEnvironment
@@ -16,6 +24,7 @@ __all__ = [
     "ComputeEvent",
     "MessageKind",
     "SERVER_ID",
+    "TransportFrame",
     "CommunicationLedger",
     "FederatedEnvironment",
 ]

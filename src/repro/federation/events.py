@@ -52,6 +52,35 @@ class Message:
         return self.sender != SERVER_ID and self.recipient != SERVER_ID
 
 
+@dataclass(frozen=True, slots=True)
+class TransportFrame:
+    """A physical frame observed on a two-party secure-transport channel.
+
+    Unlike :class:`Message` — the *logical* protocol traffic the paper's
+    communication model counts — a transport frame is what actually crossed
+    the wire when a secure session ran over a real
+    :class:`~repro.runtime.channel.PartyChannel`: ``payload_bytes`` of
+    protocol data plus channel framing overhead, totalling ``wire_bytes``.
+    Frames are kept out of the canonical message transcript so measured
+    transport never perturbs the modeled accounting; they live in their own
+    ledger side-list for attribution and reconciliation.
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload_bytes: int
+    wire_bytes: int
+    round_index: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("frame payload size must be non-negative")
+        if self.wire_bytes < self.payload_bytes:
+            raise ValueError("wire size must include the payload")
+
+
 @dataclass(slots=True)
 class ComputeEvent:
     """A unit of simulated local computation on one device."""

@@ -26,6 +26,7 @@ from .events import (
     ComputeEvent,
     Message,
     MessageKind,
+    TransportFrame,
 )
 
 
@@ -49,6 +50,13 @@ class CommunicationLedger:
     #: ``messages`` so every existing traffic summary and the canonical
     #: :meth:`message_records` transcript are untouched by fault injection.
     dropped: List[Message] = field(default_factory=list)
+    #: Physical frames observed when a secure session ran over a real
+    #: transport channel (:mod:`repro.crypto.transport`).  Like ``dropped``,
+    #: this is a side-list: the canonical :meth:`message_records` transcript
+    #: and every modeled traffic summary are untouched by it, so a run that
+    #: executes its comparisons over the wire stays transcript-identical to
+    #: the in-process simulation while still attributing measured bytes.
+    transport_frames: List[TransportFrame] = field(default_factory=list)
     current_round: int = 0
 
     # ------------------------------------------------------------------ #
@@ -128,6 +136,34 @@ class CommunicationLedger:
         self.dropped.append(message)
         return message
 
+    def record_transport_frame(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload_bytes: int,
+        wire_bytes: int,
+        description: str = "",
+    ) -> TransportFrame:
+        """Attribute one measured transport frame to its party endpoints.
+
+        ``kind`` is the transport-level frame tag (a
+        :class:`~repro.runtime.channel.FrameKind` name), not a
+        :class:`MessageKind` — the frame is physical evidence alongside the
+        modeled traffic, never part of it.
+        """
+        frame = TransportFrame(
+            sender=sender,
+            recipient=recipient,
+            kind=str(kind),
+            payload_bytes=int(payload_bytes),
+            wire_bytes=int(wire_bytes),
+            round_index=self.current_round,
+            description=description,
+        )
+        self.transport_frames.append(frame)
+        return frame
+
     def compute(self, device: int, cost: float, description: str = "") -> ComputeEvent:
         """Record ``cost`` units of local computation on ``device``."""
         event = ComputeEvent(
@@ -167,6 +203,7 @@ class CommunicationLedger:
         self.bulk_compute_events.clear()
         self.bulk_message_events.clear()
         self.dropped.clear()
+        self.transport_frames.clear()
         self.current_round = 0
 
     # ------------------------------------------------------------------ #
@@ -195,6 +232,18 @@ class CommunicationLedger:
             for event in self.bulk_message_events
             if wanted is None or event.kind in wanted
         )
+
+    def total_transport_frames(self) -> int:
+        """Number of physical frames attributed from transport channels."""
+        return len(self.transport_frames)
+
+    def total_transport_payload_bytes(self) -> int:
+        """Measured protocol payload bytes that crossed real channels."""
+        return sum(frame.payload_bytes for frame in self.transport_frames)
+
+    def total_transport_wire_bytes(self) -> int:
+        """Measured bytes on the wire, including channel framing overhead."""
+        return sum(frame.wire_bytes for frame in self.transport_frames)
 
     def total_dropped_messages(self) -> int:
         """Number of messages that never reached their recipient."""
@@ -357,6 +406,15 @@ class CommunicationLedger:
         if self.dropped:
             result["dropped_messages"] = float(self.total_dropped_messages())
             result["dropped_bytes"] = float(self.total_dropped_bytes())
+        # Transport counters likewise appear only when a secure session
+        # actually ran over a real channel, so simulation-only summaries
+        # keep their historical layout.
+        if self.transport_frames:
+            result["transport_frames"] = float(self.total_transport_frames())
+            result["transport_payload_bytes"] = float(
+                self.total_transport_payload_bytes()
+            )
+            result["transport_wire_bytes"] = float(self.total_transport_wire_bytes())
         by_kind: Dict[str, int] = defaultdict(int)
         for message in self.messages:
             by_kind[message.kind.value] += 1

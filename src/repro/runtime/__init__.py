@@ -15,6 +15,16 @@ items, and merges results deterministically — bit-for-bit identical to the
 serial path.  ``docs/architecture.md`` §8 describes the contracts.
 """
 
+from .channel import (
+    ChannelClosed,
+    ChannelError,
+    ChannelStats,
+    ChannelTimeout,
+    FrameCorruption,
+    FrameKind,
+    PartyChannel,
+    channel_pair,
+)
 from .executor import (
     DEFAULT_BACKOFF_BASE,
     DEFAULT_STORE_BYTES,
@@ -42,14 +52,21 @@ from .worker import ChaosConfig, chaos_action
 __all__ = [
     "BaselineItem",
     "CallableItem",
+    "ChannelClosed",
+    "ChannelError",
+    "ChannelStats",
+    "ChannelTimeout",
     "ChaosConfig",
     "DEFAULT_BACKOFF_BASE",
     "DEFAULT_STORE_BYTES",
     "Executor",
     "FailedAttempt",
+    "FrameCorruption",
+    "FrameKind",
     "GraphSpec",
     "ItemRecord",
     "LumosItem",
+    "PartyChannel",
     "ProcessExecutor",
     "RuntimeReport",
     "SerialExecutor",
@@ -58,6 +75,7 @@ __all__ = [
     "WorkItemFailure",
     "WorkPlan",
     "backoff_delay",
+    "channel_pair",
     "chaos_action",
     "execute_item",
     "resolve_executor",

@@ -55,6 +55,17 @@ _POLL_SECONDS = 0.05
 #: Default base of the exponential retry backoff (seconds).
 DEFAULT_BACKOFF_BASE = 0.05
 
+#: Ceiling on any single backoff delay (seconds).  Exponential growth past
+#: this point only wedges the scheduler; real deployments cap and keep
+#: retrying at the cap.
+BACKOFF_CAP_SECONDS = 30.0
+
+#: Largest doubling exponent ever applied.  ``2.0 ** 1024`` raises
+#: ``OverflowError``, and with any sane ``base`` the cap is reached long
+#: before this, so the clamp only exists to keep the function total for
+#: adversarial ``attempt`` values.
+_BACKOFF_MAX_EXPONENT = 63
+
 
 def backoff_delay(seed: int, item_key: str, attempt: int, base: float) -> float:
     """Exponential backoff with deterministic seeded jitter.
@@ -62,7 +73,10 @@ def backoff_delay(seed: int, item_key: str, attempt: int, base: float) -> float:
     ``base * 2**(attempt-1)`` scaled by a jitter factor in ``[0.5, 1.5)``
     derived from ``(seed, item_key, attempt)`` — a pure function, so two
     schedulers replaying the same failures wait the same amount and the
-    recorded ``backoff_seconds`` stat is reproducible.
+    recorded ``backoff_seconds`` stat is reproducible.  Total for every
+    ``attempt``: the exponent never goes negative (attempt 0 and 1 both use
+    ``2**0``), is clamped before ``2.0 ** n`` can overflow a float, and the
+    returned delay never exceeds :data:`BACKOFF_CAP_SECONDS`.
     """
     if base <= 0.0:
         return 0.0
@@ -70,7 +84,8 @@ def backoff_delay(seed: int, item_key: str, attempt: int, base: float) -> float:
         f"backoff/{seed}/{attempt}/{item_key}".encode("utf-8")
     ).digest()
     jitter = 0.5 + int.from_bytes(digest[:8], "little") / 2.0**64
-    return base * (2.0 ** max(attempt - 1, 0)) * jitter
+    exponent = min(max(attempt - 1, 0), _BACKOFF_MAX_EXPONENT)
+    return min(base * (2.0**exponent) * jitter, BACKOFF_CAP_SECONDS)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,8 @@ and this test keeps it in the tier-1 flow.
 from __future__ import annotations
 
 import importlib.util
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -45,11 +47,45 @@ def test_tracked_speedups_include_all_perf_sections():
         "mcmc_balancing",
         "greedy_initialization",
         "secure_construction",
+        "secure_transport",
         "epsilon_sweep",
         "parallel_sweep",
         "robustness_sweep",
         "tree_maintenance",
     }
+
+
+def test_gate_skips_cpu_bound_sections_recorded_on_another_box(tmp_path, capsys):
+    """A cpu_count-stamped speedup from a different machine class must be
+    skipped by the regression gate, not compared apples-to-oranges."""
+    bench_engine = _load_bench_engine()
+    scale = {"nodes": 10}
+    path = tmp_path / "BENCH_engine.json"
+    other_box = (os.cpu_count() or 1) + 7
+
+    previous = {"scale": scale, "parallel_sweep": {"speedup": 50.0, "cpu_count": other_box}}
+    payload = {"scale": scale, "parallel_sweep": {"speedup": 0.1, "cpu_count": other_box}}
+    path.write_text(json.dumps(previous))
+    assert bench_engine.check_trajectory(payload, path) == []
+    assert "cpu_count differs" in capsys.readouterr().err
+
+    # One-sided stamps are just as incomparable (e.g. a stale --only merge).
+    payload["parallel_sweep"].pop("cpu_count")
+    assert bench_engine.check_trajectory(payload, path) == []
+
+    # Control: the same regression measured on the current box still fails.
+    previous["parallel_sweep"]["cpu_count"] = os.cpu_count()
+    payload["parallel_sweep"]["cpu_count"] = os.cpu_count()
+    path.write_text(json.dumps(previous))
+    regressions = bench_engine.check_trajectory(payload, path)
+    assert len(regressions) == 1 and "parallel_sweep" in regressions[0]
+
+    # Sections that never record a cpu_count keep the plain comparison.
+    previous = {"scale": scale, "training_epoch": {"speedup": 50.0}}
+    payload = {"scale": scale, "training_epoch": {"speedup": 0.1}}
+    path.write_text(json.dumps(previous))
+    assert len(bench_engine.check_trajectory(payload, path)) == 1
+    capsys.readouterr()
 
 
 def test_secure_construction_section_is_gate_tracked_and_equivalent(capsys):

@@ -122,6 +122,30 @@ class TestBackoffDelay:
             scale = base * 2 ** (attempt - 1)
             assert 0.5 * scale <= delay < 1.5 * scale
 
+    def test_attempt_zero_is_non_negative_and_base_scaled(self):
+        # The exponent clamps at zero: attempt 0 and attempt 1 both wait one
+        # jittered base interval, never a negative-exponent fraction.
+        delay = backoff_delay(3, "item", 0, 0.2)
+        assert 0.1 <= delay < 0.3
+        assert delay == backoff_delay(3, "item", 0, 0.2)
+
+    def test_huge_attempt_counts_never_overflow_and_hit_the_cap(self):
+        from repro.runtime.executor import BACKOFF_CAP_SECONDS
+
+        for attempt in (64, 1025, 10**9):
+            assert backoff_delay(0, "item", attempt, 1.0) == BACKOFF_CAP_SECONDS
+        # Even a base large enough to push the float product to infinity
+        # stays total and capped rather than raising OverflowError.
+        assert backoff_delay(0, "item", 2000, 1e300) == BACKOFF_CAP_SECONDS
+
+    def test_moderate_exponents_are_capped_too(self):
+        from repro.runtime.executor import BACKOFF_CAP_SECONDS
+
+        assert backoff_delay(5, "key", 30, 1.0) == BACKOFF_CAP_SECONDS
+
+    def test_negative_base_disables_backoff(self):
+        assert backoff_delay(0, "item", 5, -1.0) == 0.0
+
 
 # --------------------------------------------------------------------------- #
 # Integration: chaotic pools still satisfy the determinism contract

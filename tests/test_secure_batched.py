@@ -194,6 +194,86 @@ class TestOTBatchContracts:
         )
 
 
+class TestWideOT:
+    """64-bit operands: ``modulus = 2**64`` no longer fits numpy's default
+    int64 bounded draw, so wide widths take an explicit uint64 pad path."""
+
+    TOP = (1 << 64) - 1
+
+    def test_scalar_transfer_at_the_64_bit_edge(self):
+        ot = ObliviousTransfer(rng=np.random.default_rng(0))
+        assert ot.transfer(self.TOP, 0, 0, message_bits=64).chosen_message == self.TOP
+        assert ot.transfer(0, self.TOP, 1, message_bits=64).chosen_message == self.TOP
+        assert ot.transfer(self.TOP, self.TOP, 1, message_bits=64).chosen_message == self.TOP
+
+    def test_batch_matches_scalar_loop_at_64_bits(self):
+        m0 = np.array([self.TOP, 0, self.TOP - 1, 12345], dtype=np.uint64)
+        m1 = np.array([0, self.TOP, 1, self.TOP], dtype=np.uint64)
+        choices = np.array([0, 1, 1, 0])
+        batch_acc = TranscriptAccountant()
+        rng = np.random.default_rng(3)
+        chosen = assert_stream_contract(
+            lambda generator: ObliviousTransfer(batch_acc, generator).transfer_batch(
+                m0, m1, choices, message_bits=64
+            ),
+            rng,
+            2 * 4,
+            draw=lambda g, n: g.integers(
+                0, (1 << 64) - 1, size=(n // 2, 2), dtype=np.uint64, endpoint=True
+            ),
+        )
+        assert chosen.dtype == np.uint64
+        loop_acc = TranscriptAccountant()
+        loop_ot = ObliviousTransfer(loop_acc, np.random.default_rng(3))
+        expected = [
+            loop_ot.transfer(int(a), int(b), int(c), message_bits=64).chosen_message
+            for a, b, c in zip(m0, m1, choices)
+        ]
+        assert [int(value) for value in chosen] == expected
+        assert batch_acc.snapshot() == loop_acc.snapshot()
+        assert batch_acc._log == loop_acc._log
+
+    def test_63_bit_batches_stay_on_the_historical_stream(self):
+        # The widest narrow width: its modulus (2**63) is still a legal int64
+        # exclusive bound, so streams pinned before the uint64 fix must not
+        # shift.
+        chosen = assert_stream_contract(
+            lambda generator: ObliviousTransfer(
+                TranscriptAccountant(), generator
+            ).transfer_batch([5, 1], [9, 2], [1, 0], message_bits=63),
+            np.random.default_rng(1),
+            2 * 2,
+            draw=lambda g, n: g.integers(1 << 63, size=(n // 2, 2)),
+        )
+        assert chosen.dtype == np.int64
+        assert list(chosen) == [9, 1]
+
+    def test_out_of_range_64_bit_operands_are_rejected(self):
+        ot = ObliviousTransfer(rng=np.random.default_rng(0))
+        with pytest.raises((ValueError, OverflowError)):
+            ot.transfer_batch([1 << 64], [0], [0], message_bits=64)
+        with pytest.raises(ValueError):
+            ot.transfer_batch([-1], [0], [0], message_bits=64)
+        with pytest.raises(ValueError):
+            ot.transfer(1 << 64, 0, 0, message_bits=64)
+
+    def test_precomputed_pool_matches_pool_free_at_64_bits(self):
+        m0 = np.array([self.TOP, 7, 0], dtype=np.uint64)
+        m1 = np.array([0, self.TOP, self.TOP], dtype=np.uint64)
+        choices = np.array([1, 0, 1])
+        pooled_ot = ObliviousTransfer(rng=np.random.default_rng(4))
+        assert pooled_ot.precompute_pads(3, 64) == 3
+        assert pooled_ot.pooled_pads(64) == 3
+        pooled = pooled_ot.transfer_batch(m0, m1, choices, message_bits=64)
+        assert pooled_ot.pooled_pads(64) == 0
+        live_ot = ObliviousTransfer(rng=np.random.default_rng(4))
+        live = live_ot.transfer_batch(m0, m1, choices, message_bits=64)
+        assert np.array_equal(pooled, live)
+        assert (
+            pooled_ot._rng.bit_generator.state == live_ot._rng.bit_generator.state
+        )
+
+
 def _noncontiguous_environment(seed: int = 0) -> FederatedEnvironment:
     adjacency = {
         50: [3, 7, 9, 11],

@@ -94,6 +94,53 @@ class TestTamperedPayload:
         assert path.with_name(path.name + ".quarantined").exists()
 
 
+class TestConcurrentQuarantine:
+    def test_two_readers_racing_the_same_corrupt_file_both_miss(self, tmp_path):
+        """A checksum failure during concurrent reload by two readers: both
+        degrade to a miss, the losing rename falls back harmlessly, and the
+        bytes end up quarantined exactly once."""
+        import threading
+
+        store = _spilled(tmp_path)
+        path = store._path_for("stage/key")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+
+        readers = [DiskSpillStore(tmp_path, max_bytes=1) for _ in range(2)]
+        barrier = threading.Barrier(2)
+        results = [object(), object()]
+        errors = []
+
+        def reload(index: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                results[index] = readers[index].get("stage/key")
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reload, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert results == [None, None]
+        # At least one reader verified the checksum and quarantined the
+        # bytes; a reader that lost the rename race still counts its own
+        # failed load, so the total is one or two — never zero, never a crash.
+        assert 1 <= sum(reader.integrity_failures for reader in readers) <= 2
+        assert not path.exists()
+        assert path.with_name(path.name + ".quarantined").exists()
+        assert all("stage/key" not in reader for reader in readers)
+
+        # Either reader can immediately re-publish, and both then read it.
+        readers[0].put("stage/key", StoredArtifact(value=np.arange(4)))
+        for reader in readers:
+            artifact = reader.get("stage/key")
+            assert artifact is not None
+            assert np.array_equal(artifact.value, np.arange(4))
+
+
 class TestRecoveryAfterQuarantine:
     def test_key_can_be_republished_after_quarantine(self, tmp_path):
         store = _spilled(tmp_path)
